@@ -1,0 +1,338 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/ackermann"
+	"repro/internal/aw"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/sched"
+	"repro/internal/seqdsu"
+	"repro/internal/simdsu"
+	"repro/internal/workload"
+)
+
+// Benchmarks here mirror DESIGN.md's experiment index: each Benchmark`E<k>`*
+// regenerates the measurement behind experiment E<k>, reporting the paper's
+// quantity of interest as a custom metric (work/op, height/lg n, …).
+// cmd/dsubench prints the corresponding full tables.
+
+// runWorkload drives ops through d with p goroutines, returning total work.
+func runWorkload(d *core.DSU, ops []workload.Op, p int) core.Stats {
+	perProc := workload.SplitRoundRobin(ops, p)
+	stats := make([]core.Stats, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, op := range perProc[i] {
+				switch op.Kind {
+				case workload.OpUnite:
+					d.UniteCounted(op.X, op.Y, &stats[i])
+				case workload.OpSameSet:
+					d.SameSetCounted(op.X, op.Y, &stats[i])
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total core.Stats
+	for i := range stats {
+		total.Add(stats[i])
+	}
+	return total
+}
+
+// BenchmarkE1NoCompactionWork measures work/op with Algorithm 1 finds
+// (Theorem 4.3 predicts O(log n)).
+func BenchmarkE1NoCompactionWork(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := 4 * n
+			ops := workload.Mixed(n, m, 0.5, 1)
+			var workPerOp float64
+			for i := 0; i < b.N; i++ {
+				d := core.New(n, core.Config{Find: core.FindNaive, Seed: uint64(i)})
+				total := runWorkload(d, ops, 8)
+				workPerOp = float64(total.Work()) / float64(m)
+			}
+			b.ReportMetric(workPerOp, "work/op")
+			b.ReportMetric(workPerOp/math.Log2(float64(n)), "work/op/lgn")
+		})
+	}
+}
+
+// BenchmarkE2ForestHeight measures union-forest height (Corollary 4.2.1
+// predicts O(log n) w.h.p.).
+func BenchmarkE2ForestHeight(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var height float64
+			for i := 0; i < b.N; i++ {
+				d := core.New(n, core.Config{Find: core.FindNaive, Seed: uint64(i) + 1})
+				runWorkload(d, workload.RandomUnions(n, 4*n, uint64(i)), 8)
+				height = float64(forest.Height(d.Snapshot()))
+			}
+			b.ReportMetric(height/math.Log2(float64(n)), "height/lgn")
+		})
+	}
+}
+
+// benchSplitting powers E4/E5: work per op across p for a splitting find.
+func benchSplitting(b *testing.B, find core.Find, bound func(n, m, p int) float64) {
+	const n = 1 << 16
+	m := 4 * n
+	ops := workload.Mixed(n, m, 0.5, 2)
+	for _, p := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var workPerOp float64
+			for i := 0; i < b.N; i++ {
+				d := core.New(n, core.Config{Find: find, Seed: uint64(i)})
+				total := runWorkload(d, ops, p)
+				workPerOp = float64(total.Work()) / float64(m)
+			}
+			b.ReportMetric(workPerOp, "work/op")
+			b.ReportMetric(workPerOp/bound(n, m, p), "work/bound")
+		})
+	}
+}
+
+func boundTwoTry(n, m, p int) float64 {
+	d := float64(m) / (float64(n) * float64(p))
+	return float64(ackermann.Alpha(int64(n), d)) + math.Log2(float64(n)*float64(p)/float64(m)+1)
+}
+
+func boundOneTry(n, m, p int) float64 {
+	pp := float64(p) * float64(p)
+	d := float64(m) / (float64(n) * pp)
+	return float64(ackermann.Alpha(int64(n), d)) + math.Log2(float64(n)*pp/float64(m)+1)
+}
+
+// BenchmarkE4TwoTrySweep measures two-try splitting against Theorem 5.1.
+func BenchmarkE4TwoTrySweep(b *testing.B) { benchSplitting(b, core.FindTwoTry, boundTwoTry) }
+
+// BenchmarkE5OneTrySweep measures one-try splitting against Theorem 5.2.
+func BenchmarkE5OneTrySweep(b *testing.B) { benchSplitting(b, core.FindOneTry, boundOneTry) }
+
+// BenchmarkE6BinomialDepth measures the Lemma 5.3 construction's average
+// node depth (the lemma proves ≥ (lg k)/4).
+func BenchmarkE6BinomialDepth(b *testing.B) {
+	for _, k := range []int{1 << 10, 1 << 14} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			ops := workload.BinomialPairing(0, k)
+			var avg float64
+			for i := 0; i < b.N; i++ {
+				d := seqdsu.New(k, seqdsu.LinkRandom, seqdsu.CompactSplitting, uint64(i))
+				for _, op := range ops {
+					d.Unite(op.X, op.Y)
+				}
+				parents := make([]uint32, k)
+				for x := uint32(0); int(x) < k; x++ {
+					parents[x] = d.Parent(x)
+				}
+				avg = forest.AvgDepth(parents)
+			}
+			b.ReportMetric(avg/math.Log2(float64(k)), "avgdepth/lgk")
+		})
+	}
+}
+
+// BenchmarkE7LowerBound runs the Theorem 5.4 workload on the simulator in
+// lockstep, reporting simulated steps per operation.
+func BenchmarkE7LowerBound(b *testing.B) {
+	const n, p = 1 << 8, 4
+	for _, delta := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("delta=%d", delta), func(b *testing.B) {
+			w := workload.LowerBound(n, p, delta, 3)
+			var perOp float64
+			for i := 0; i < b.N; i++ {
+				s := simdsu.New(n, core.Config{Find: core.FindNaive, Seed: 2})
+				res, err := simdsu.Run(s, w.PerProc, simdsu.Options{
+					Scheduler: sched.NewLockstep(),
+					Setup:     w.Setup,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perOp = float64(res.Total) / float64(w.Ops())
+			}
+			b.ReportMetric(perOp, "steps/op")
+			b.ReportMetric(perOp/math.Log2(float64(delta)), "steps/op/lgdelta")
+		})
+	}
+}
+
+// BenchmarkE9Speedup is the headline comparison: ops/sec across
+// implementations and process counts (Abstract / Section 1).
+func BenchmarkE9Speedup(b *testing.B) {
+	const n = 1 << 18
+	m := 2 * n
+	ops := workload.Mixed(n, m, 0.5, 4)
+	impls := map[string]func() interface {
+		Unite(x, y uint32) bool
+		SameSet(x, y uint32) bool
+	}{
+		"jt-twotry": func() interface {
+			Unite(x, y uint32) bool
+			SameSet(x, y uint32) bool
+		} {
+			return core.New(n, core.Config{Find: core.FindTwoTry, Seed: 5})
+		},
+		"aw-rank-halving": func() interface {
+			Unite(x, y uint32) bool
+			SameSet(x, y uint32) bool
+		} {
+			return aw.New(n)
+		},
+		"global-lock": func() interface {
+			Unite(x, y uint32) bool
+			SameSet(x, y uint32) bool
+		} {
+			return aw.NewLocked(n)
+		},
+	}
+	for name, mk := range impls {
+		for _, p := range []int{1, 8} {
+			b.Run(fmt.Sprintf("%s/p=%d", name, p), func(b *testing.B) {
+				perProc := workload.SplitRoundRobin(ops, p)
+				for i := 0; i < b.N; i++ {
+					d := mk()
+					var wg sync.WaitGroup
+					for w := 0; w < p; w++ {
+						wg.Add(1)
+						go func(opsW []workload.Op) {
+							defer wg.Done()
+							for _, op := range opsW {
+								switch op.Kind {
+								case workload.OpUnite:
+									d.Unite(op.X, op.Y)
+								case workload.OpSameSet:
+									d.SameSet(op.X, op.Y)
+								}
+							}
+						}(perProc[w])
+					}
+					wg.Wait()
+				}
+				b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+			})
+		}
+	}
+}
+
+// BenchmarkE10Variants is the find-variant ablation on one workload.
+func BenchmarkE10Variants(b *testing.B) {
+	const n = 1 << 16
+	m := 4 * n
+	ops := workload.Mixed(n, m, 0.5, 6)
+	variants := []core.Config{
+		{Find: core.FindNaive}, {Find: core.FindOneTry}, {Find: core.FindTwoTry},
+		{Find: core.FindHalving}, {Find: core.FindCompress},
+		{Find: core.FindTwoTry, EarlyTermination: true},
+	}
+	for _, vc := range variants {
+		name := vc.Find.String()
+		if vc.EarlyTermination {
+			name += "+early"
+		}
+		b.Run(name, func(b *testing.B) {
+			var workPerOp float64
+			for i := 0; i < b.N; i++ {
+				cfg := vc
+				cfg.Seed = uint64(i)
+				d := core.New(n, cfg)
+				total := runWorkload(d, ops, 8)
+				workPerOp = float64(total.Work()) / float64(m)
+			}
+			b.ReportMetric(workPerOp, "work/op")
+		})
+	}
+}
+
+// BenchmarkE12Dynamic measures the MakeSet variant against the static
+// structure on one workload.
+func BenchmarkE12Dynamic(b *testing.B) {
+	const n = 1 << 16
+	m := 4 * n
+	ops := workload.Mixed(n, m, 0.5, 8)
+	b.Run("static", func(b *testing.B) {
+		perProc := workload.SplitRoundRobin(ops, 8)
+		for i := 0; i < b.N; i++ {
+			d := core.New(n, core.Config{Seed: 1})
+			var wg sync.WaitGroup
+			for w := range perProc {
+				wg.Add(1)
+				go func(opsW []workload.Op) {
+					defer wg.Done()
+					for _, op := range opsW {
+						if op.Kind == workload.OpUnite {
+							d.Unite(op.X, op.Y)
+						} else {
+							d.SameSet(op.X, op.Y)
+						}
+					}
+				}(perProc[w])
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		perProc := workload.SplitRoundRobin(ops, 8)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := core.NewDynamic(n, 1)
+			for k := 0; k < n; k++ {
+				if _, err := d.MakeSet(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			for w := range perProc {
+				wg.Add(1)
+				go func(opsW []workload.Op) {
+					defer wg.Done()
+					for _, op := range opsW {
+						if op.Kind == workload.OpUnite {
+							d.Unite(op.X, op.Y)
+						} else {
+							d.SameSet(op.X, op.Y)
+						}
+					}
+				}(perProc[w])
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+	})
+}
+
+// BenchmarkFindOnDeepForest micro-benchmarks a single Find per variant on a
+// prebuilt randomized forest.
+func BenchmarkFindOnDeepForest(b *testing.B) {
+	const n = 1 << 16
+	base := core.New(n, core.Config{Find: core.FindNaive, Seed: 3})
+	for _, op := range workload.RandomUnions(n, 4*n, 9) {
+		base.Unite(op.X, op.Y)
+	}
+	snap := base.Snapshot()
+	for _, f := range []core.Find{core.FindNaive, core.FindOneTry, core.FindTwoTry, core.FindHalving, core.FindCompress} {
+		b.Run(f.String(), func(b *testing.B) {
+			// Rebuild per run so compaction starts from the same forest.
+			d := core.New(n, core.Config{Find: f, Seed: 3})
+			for x, p := range snap {
+				d.LoadParent(uint32(x), p)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Find(uint32(i % n))
+			}
+		})
+	}
+}

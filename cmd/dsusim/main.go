@@ -1,0 +1,142 @@
+// Command dsusim drives the APRAM simulator directly: pick an algorithm
+// variant, a scheduler, and a workload; get exact shared-memory step counts
+// (the paper's total-work metric), per-process balance, and — optionally —
+// per-step invariant checking and linearizability verification of the
+// recorded history.
+//
+// Usage:
+//
+//	dsusim [-n 256] [-m 2048] [-p 8] [-find twotry] [-early]
+//	       [-sched random] [-seed 1] [-unite-frac 0.6]
+//	       [-check] [-linearize] [-v]
+//
+// Example:
+//
+//	dsusim -n 64 -m 200 -p 4 -find onetry -sched lockstep -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/linearize"
+	"repro/internal/sched"
+	"repro/internal/simdsu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+
+	"repro/internal/apram"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "dsusim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n          = flag.Int("n", 256, "elements")
+		m          = flag.Int("m", 2048, "operations")
+		p          = flag.Int("p", 8, "processes")
+		findName   = flag.String("find", "twotry", "find variant: naive|onetry|twotry|halving|compress")
+		early      = flag.Bool("early", false, "early-termination variants (Algorithms 6/7)")
+		schedName  = flag.String("sched", "random", "scheduler: roundrobin|random|lockstep|stall|weighted")
+		seed       = flag.Uint64("seed", 1, "seed for workload, node order, and scheduler")
+		uniteFrac  = flag.Float64("unite-frac", 0.6, "fraction of operations that are Unites")
+		check      = flag.Bool("check", false, "check Lemma 3.1 invariants on every step")
+		doLin      = flag.Bool("linearize", false, "record history and verify linearizability (small runs only)")
+		verbose    = flag.Bool("v", false, "print per-process step counts")
+		maxStepsFl = flag.Int64("max-steps", 0, "step bound (0 = default)")
+	)
+	flag.Parse()
+
+	find, err := parseFind(*findName)
+	if err != nil {
+		return err
+	}
+	scheduler, err := parseSched(*schedName, *seed, *p)
+	if err != nil {
+		return err
+	}
+	if *doLin && *m > linearize.MaxOps {
+		return fmt.Errorf("-linearize needs m ≤ %d (got %d)", linearize.MaxOps, *m)
+	}
+
+	cfg := core.Config{Find: find, EarlyTermination: *early, Seed: *seed}
+	sim := simdsu.New(*n, cfg)
+	ops := workload.Mixed(*n, *m, *uniteFrac, *seed+100)
+	res, err := simdsu.Run(sim, workload.SplitRoundRobin(ops, *p), simdsu.Options{
+		Scheduler:       scheduler,
+		MaxSteps:        *maxStepsFl,
+		Record:          *doLin,
+		CheckInvariants: *check,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("variant=%s early=%v sched=%s n=%d m=%d p=%d\n",
+		find, *early, *schedName, *n, *m, *p)
+	fmt.Printf("total steps: %d (%.3f per op)\n", res.Total, float64(res.Total)/float64(*m))
+	if *verbose {
+		tb := stats.NewTable("process", "steps", "share %")
+		for i, s := range res.Steps {
+			tb.AddRowf(i, s, 100*float64(s)/float64(res.Total))
+		}
+		fmt.Print(tb)
+	}
+	if *check {
+		fmt.Println("invariants: OK (Lemma 3.1 held on every step)")
+	}
+	if *doLin {
+		if _, err := linearize.Check(*n, res.History); err != nil {
+			return err
+		}
+		fmt.Printf("linearizability: OK (%d-op history)\n", len(res.History))
+	}
+	return nil
+}
+
+func parseFind(name string) (core.Find, error) {
+	switch name {
+	case "naive":
+		return core.FindNaive, nil
+	case "onetry":
+		return core.FindOneTry, nil
+	case "twotry":
+		return core.FindTwoTry, nil
+	case "halving":
+		return core.FindHalving, nil
+	case "compress":
+		return core.FindCompress, nil
+	default:
+		return 0, fmt.Errorf("unknown find variant %q", name)
+	}
+}
+
+func parseSched(name string, seed uint64, p int) (apram.Scheduler, error) {
+	switch name {
+	case "roundrobin":
+		return sched.NewRoundRobin(), nil
+	case "random":
+		return sched.NewRandom(seed), nil
+	case "lockstep":
+		return sched.NewLockstep(), nil
+	case "stall":
+		return sched.NewStall(sched.NewRandom(seed), 0), nil
+	case "weighted":
+		weights := make([]float64, p)
+		w := 1.0
+		for i := range weights {
+			weights[i] = w
+			w *= 4
+		}
+		return sched.NewWeighted(seed, weights), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseFind(t *testing.T) {
+	cases := map[string]core.Find{
+		"naive":    core.FindNaive,
+		"onetry":   core.FindOneTry,
+		"twotry":   core.FindTwoTry,
+		"halving":  core.FindHalving,
+		"compress": core.FindCompress,
+	}
+	for name, want := range cases {
+		got, err := parseFind(name)
+		if err != nil || got != want {
+			t.Errorf("parseFind(%q) = (%v, %v), want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseFind("bogus"); err == nil {
+		t.Error("parseFind(bogus) accepted")
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	for _, name := range []string{"roundrobin", "random", "lockstep", "stall", "weighted"} {
+		s, err := parseSched(name, 1, 4)
+		if err != nil || s == nil {
+			t.Errorf("parseSched(%q) = (%v, %v)", name, s, err)
+		}
+	}
+	if _, err := parseSched("bogus", 1, 4); err == nil {
+		t.Error("parseSched(bogus) accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a production-quality Go reproduction of Jayanti &
+// Tarjan, "A Randomized Concurrent Algorithm for Disjoint Set Union"
+// (PODC 2016; revised as arXiv:1612.01514).
+//
+// The public library lives in repro/dsu. The substrates — the APRAM
+// simulator, sequential baselines, the Anderson–Woll comparator, the
+// linearizability checker, workload generators, and the experiment
+// harness — live under internal/. See README.md for the map, DESIGN.md for
+// the system inventory and per-experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate one
+// measurement per experiment; cmd/dsubench prints the full tables.
+package repro

@@ -1,0 +1,73 @@
+package dsu_test
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/dsu"
+)
+
+// The simplest use: a fixed universe, sequential calls.
+func Example() {
+	d := dsu.New(5)
+	d.Unite(0, 1)
+	d.Unite(3, 4)
+	fmt.Println(d.SameSet(0, 1))
+	fmt.Println(d.SameSet(1, 3))
+	fmt.Println(d.Sets())
+	// Output:
+	// true
+	// false
+	// 3
+}
+
+// Concurrent connected components: goroutines share the structure with no
+// locking at all.
+func Example_concurrent() {
+	edges := [][2]uint32{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}}
+	d := dsu.New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(edges); i += 4 {
+				d.Unite(edges[i][0], edges[i][1])
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Println(d.Sets())
+	fmt.Println(d.SameSet(0, 2), d.SameSet(3, 5), d.SameSet(0, 6))
+	// Output:
+	// 3
+	// true true false
+}
+
+// Selecting a paper variant and counting its shared-memory work.
+func ExampleWithFind() {
+	d := dsu.New(4, dsu.WithFind(dsu.OneTrySplitting), dsu.WithSeed(42))
+	var st dsu.Stats
+	d.UniteCounted(0, 1, &st)
+	d.UniteCounted(2, 3, &st)
+	d.UniteCounted(0, 3, &st)
+	fmt.Println(st.Links)
+	fmt.Println(st.Ops)
+	// Output:
+	// 3
+	// 3
+}
+
+// Growing the universe on line with MakeSet.
+func ExampleDynamic() {
+	d := dsu.NewDynamic(100)
+	a, _ := d.MakeSet()
+	b, _ := d.MakeSet()
+	c, _ := d.MakeSet()
+	d.Unite(a, b)
+	fmt.Println(d.SameSet(a, b), d.SameSet(a, c))
+	fmt.Println(d.Len())
+	// Output:
+	// true false
+	// 3
+}

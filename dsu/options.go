@@ -1,0 +1,41 @@
+package dsu
+
+type config struct {
+	find  FindStrategy
+	early bool
+	seed  uint64
+}
+
+func defaultConfig() config {
+	return config{find: TwoTrySplitting, seed: 0x6a79616e7469} // stable default seed
+}
+
+// Option configures New and NewDynamic.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithFind selects the find-path compaction strategy (default
+// TwoTrySplitting).
+func WithFind(f FindStrategy) Option {
+	return optionFunc(func(c *config) { c.find = f })
+}
+
+// WithEarlyTermination enables the Section 6 variants (Algorithms 6 and 7):
+// SameSet and Unite interleave their two finds and always advance the
+// currently smaller node, letting one find terminate the operation early.
+// Valid with NoCompaction, OneTrySplitting, and TwoTrySplitting.
+func WithEarlyTermination() Option {
+	return optionFunc(func(c *config) { c.early = true })
+}
+
+// WithSeed fixes the seed of the random linking order (and of Dynamic's
+// priorities), making runs reproducible. Structures built with equal seeds
+// and sizes use identical orders.
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(c *config) { c.seed = seed })
+}

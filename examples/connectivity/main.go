@@ -1,0 +1,53 @@
+// Connectivity computes the connected components of a large random graph
+// with goroutines sharing one wait-free DSU — the paper's first motivating
+// application (maintaining connected components under edge insertions) —
+// and validates the result against an exact sequential BFS.
+//
+//	go run ./examples/connectivity [-n 1000000] [-m 3000000] [-workers 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1_000_000, "vertices")
+		m       = flag.Int("m", 3_000_000, "random edges")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating G(n=%d, m=%d)...\n", *n, *m)
+	edges := graph.ErdosRenyi(*n, *m, 2024)
+
+	start := time.Now()
+	labels := apps.ParallelCC(*n, edges, *workers)
+	concurrent := time.Since(start)
+	components := make(map[uint32]struct{})
+	for _, l := range labels {
+		components[l] = struct{}{}
+	}
+	fmt.Printf("concurrent DSU: %d components in %v (%.1f Medges/s, %d workers)\n",
+		len(components), concurrent.Round(time.Millisecond),
+		float64(*m)/concurrent.Seconds()/1e6, *workers)
+
+	start = time.Now()
+	ref := graph.RefComponents(*n, edges)
+	fmt.Printf("reference BFS:  computed in %v\n", time.Since(start).Round(time.Millisecond))
+
+	for v := range labels {
+		if labels[v] != ref[v] {
+			fmt.Fprintf(os.Stderr, "MISMATCH at vertex %d: DSU %d, BFS %d\n", v, labels[v], ref[v])
+			os.Exit(1)
+		}
+	}
+	fmt.Println("validation: concurrent components match exact BFS ✓")
+}

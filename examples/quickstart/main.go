@@ -1,0 +1,54 @@
+// Quickstart: the essential dsu API in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/dsu"
+)
+
+func main() {
+	// A fixed universe of 10 elements, each in its own set.
+	d := dsu.New(10)
+
+	// Merge some sets and query membership.
+	d.Unite(0, 1)
+	d.Unite(1, 2)
+	fmt.Println("0 ~ 2?", d.SameSet(0, 2)) // true, via transitivity
+	fmt.Println("0 ~ 9?", d.SameSet(0, 9)) // false
+	fmt.Println("sets:", d.Sets())         // 8
+
+	// Everything is safe to call from any number of goroutines — no locks.
+	var wg sync.WaitGroup
+	edges := [][2]uint32{{3, 4}, {4, 5}, {6, 7}, {7, 8}, {8, 9}}
+	for _, e := range edges {
+		wg.Add(1)
+		go func(a, b uint32) {
+			defer wg.Done()
+			d.Unite(a, b)
+		}(e[0], e[1])
+	}
+	wg.Wait()
+	fmt.Println("3 ~ 5?", d.SameSet(3, 5)) // true
+	fmt.Println("6 ~ 9?", d.SameSet(6, 9)) // true
+	fmt.Println("sets:", d.Sets())         // 3: {0,1,2} {3,4,5} {6,7,8,9}
+
+	// Variants from the paper are options; work counters show the cost.
+	d2 := dsu.New(1000, dsu.WithFind(dsu.OneTrySplitting), dsu.WithSeed(42))
+	var st dsu.Stats
+	for i := uint32(0); i < 999; i++ {
+		d2.UniteCounted(i, i+1, &st)
+	}
+	fmt.Printf("999 unions: %d parent reads, %d CAS, %d links\n",
+		st.Reads, st.CASAttempts, st.Links)
+
+	// Need elements created on line? Use the Dynamic variant.
+	dyn := dsu.NewDynamic(100)
+	a, _ := dyn.MakeSet()
+	b, _ := dyn.MakeSet()
+	dyn.Unite(a, b)
+	fmt.Println("dynamic a ~ b?", dyn.SameSet(a, b)) // true
+}

@@ -1,0 +1,56 @@
+// SCC computes strongly connected components of a directed graph with the
+// forward–backward (FB) divide-and-conquer algorithm, using a shared
+// wait-free DSU to collapse each discovered component concurrently — the
+// model-checking motivation of the paper's introduction (Bloemen et al. use
+// concurrent union-find exactly this way for on-the-fly SCC decomposition).
+// The result is validated against sequential Tarjan.
+//
+//	go run ./examples/scc [-scale 15] [-m 300000] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		scale   = flag.Int("scale", 15, "vertices = 2^scale")
+		m       = flag.Int("m", 300_000, "edges (RMAT, skewed)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent workers")
+	)
+	flag.Parse()
+	n := 1 << *scale
+
+	edges := graph.RMAT(*scale, *m, 11)
+	fmt.Printf("FB-SCC on RMAT graph: n=%d, m=%d, %d workers\n", n, *m, *workers)
+
+	start := time.Now()
+	got := apps.SCC(n, edges, *workers)
+	fbTime := time.Since(start)
+
+	start = time.Now()
+	want := apps.CanonicalSCCLabels(apps.TarjanSCC(graph.Build(n, edges, true)))
+	tarjanTime := time.Since(start)
+
+	components := make(map[uint32]struct{})
+	for _, l := range got {
+		components[l] = struct{}{}
+	}
+	fmt.Printf("FB-SCC:  %d components in %v\n", len(components), fbTime.Round(time.Millisecond))
+	fmt.Printf("Tarjan:  reference in %v\n", tarjanTime.Round(time.Millisecond))
+
+	for v := range got {
+		if got[v] != want[v] {
+			fmt.Fprintf(os.Stderr, "MISMATCH at vertex %d: FB %d, Tarjan %d\n", v, got[v], want[v])
+			os.Exit(1)
+		}
+	}
+	fmt.Println("validation: FB-SCC partition matches Tarjan ✓")
+}

@@ -1,0 +1,200 @@
+// Package ackermann implements Ackermann's function, its functional inverse
+// α(n, d), and the level/index functions a(k, j) and b(i, k) used in the
+// potential-function analysis of Section 5 of Jayanti & Tarjan (PODC 2016).
+//
+// The definitions follow Section 2 of the paper exactly:
+//
+//	A_0(j) = j + 1
+//	A_k(0) = A_{k-1}(1)                for k > 0
+//	A_k(j) = A_{k-1}(A_k(j - 1))       for k > 0, j > 0
+//
+//	α(n, d) = min{ i > 0 | A_i(⌊d⌋) > n }
+//
+// This union-find flavour of Ackermann's function has exact closed forms at
+// low levels, derived directly from the recurrence:
+//
+//	A_1(j) = j + 2        (A_1(0) = A_0(1) = 2, each step adds 1)
+//	A_2(j) = 2j + 3       (A_2(0) = A_1(1) = 3, each step adds 2)
+//	A_3(j) = 2^(j+3) − 3  (A_3(0) = A_2(1) = 5, each step doubles and adds 3)
+//
+// From level 4 the values explode: A_4(0) = 13, A_4(1) = 65533, and A_4(2)
+// already exceeds any fixed-width integer. All arithmetic therefore
+// saturates at Overflow rather than wrapping, which keeps the comparisons in
+// α well defined for every representable input.
+package ackermann
+
+import "math"
+
+// Overflow is the saturation value: any Ackermann value that would exceed it
+// is reported as Overflow. Comparisons A_i(j) > n remain correct for every n
+// strictly below Overflow.
+const Overflow = math.MaxInt64
+
+// A returns A_k(j), saturating at Overflow. It panics on negative arguments.
+func A(k, j int) int64 {
+	if k < 0 || j < 0 {
+		panic("ackermann: negative argument")
+	}
+	return apply(k, int64(j))
+}
+
+// apply computes A_k(x) for x ≥ 0, saturating at Overflow.
+func apply(k int, x int64) int64 {
+	switch k {
+	case 0:
+		return satAdd(x, 1)
+	case 1:
+		return satAdd(x, 2)
+	case 2:
+		return satAdd(satMul2(x), 3)
+	case 3:
+		// 2^(x+3) − 3; for x ≥ 61 the power alone exceeds int64.
+		if x >= 61 {
+			return Overflow
+		}
+		return (int64(1) << (x + 3)) - 3
+	default:
+		// A_k(0) = A_{k-1}(1); A_k(x) = A_{k-1}(A_k(x-1)). Values saturate
+		// within one or two steps, so the recursion depth stays tiny.
+		v := apply(k-1, 1)
+		for i := int64(1); i <= x; i++ {
+			if v == Overflow {
+				return Overflow
+			}
+			v = apply(k-1, v)
+		}
+		return v
+	}
+}
+
+func satAdd(x, d int64) int64 {
+	if x > Overflow-d {
+		return Overflow
+	}
+	return x + d
+}
+
+func satMul2(x int64) int64 {
+	if x > Overflow/2 {
+		return Overflow
+	}
+	return 2 * x
+}
+
+// Alpha returns α(n, d) = min{ i > 0 | A_i(⌊d⌋) > n } for n ≥ 0, d ≥ 0.
+// The paper applies it with d = m/(np) (Theorem 5.1) or d = m/(np²)
+// (Theorem 5.2). It panics on negative or NaN arguments.
+func Alpha(n int64, d float64) int {
+	if n < 0 || d < 0 || math.IsNaN(d) {
+		panic("ackermann: Alpha with negative or NaN argument")
+	}
+	j := int64(math.MaxInt64)
+	if d < math.MaxInt64 {
+		j = int64(math.Floor(d))
+	}
+	// A_1(j) = j + 2, so i = 1 whenever j + 2 > n; this also covers huge d
+	// without evaluating higher levels.
+	if satAdd(j, 2) > n {
+		return 1
+	}
+	for i := 2; ; i++ {
+		if apply(i, j) > n {
+			return i
+		}
+		if i > 8 {
+			// A_6(0) = A_5(1) = A_4(65533) saturates, so the loop always
+			// exits by i = 6 for j = 0 and sooner for j > 0.
+			panic("ackermann: Alpha failed to terminate")
+		}
+	}
+}
+
+// B returns the index function b(i, k) = min{ j ≥ 0 | A_i(j) > k } from
+// Section 5, saturation-aware. It panics on negative arguments.
+func B(i int, k int64) int {
+	if i < 0 || k < 0 {
+		panic("ackermann: B with negative argument")
+	}
+	switch i {
+	case 0: // j + 1 > k  ⇔  j ≥ k
+		if k > math.MaxInt32 {
+			return int(math.MaxInt32) // clamp; callers only use small k
+		}
+		return int(k)
+	case 1: // j + 2 > k  ⇔  j ≥ k − 1
+		if k <= 1 {
+			return 0
+		}
+		if k-1 > math.MaxInt32 {
+			return int(math.MaxInt32)
+		}
+		return int(k - 1)
+	default:
+		for j := 0; ; j++ {
+			if apply(i, int64(j)) > k {
+				return j
+			}
+		}
+	}
+}
+
+// Level returns the level function from Section 5,
+//
+//	a(k, j) = min({α(k, d) + 1} ∪ { 1 ≤ i ≤ α(k, d) | A_i(b(i, k)) > j }),
+//
+// where k is the node's rank, j its parent's rank, and d the density
+// parameter fixed by the analysis, with the convention (property (iv)) that
+// the level is 0 iff the node and its parent share a rank. It panics if
+// k > j, since ranks are non-decreasing along parent pointers.
+func Level(k, j int64, d float64) int {
+	if k > j {
+		panic("ackermann: Level with rank above parent rank")
+	}
+	if k == j {
+		return 0
+	}
+	ak := Alpha(k, d)
+	for i := 1; i <= ak; i++ {
+		if apply(i, int64(B(i, k))) > j {
+			return i
+		}
+	}
+	return ak + 1
+}
+
+// Count returns the count function x.c = a·(r+2) + b from Section 5, where
+// a = Level(r, pr, d), b = B(a−1, pr) for a > 0 and 0 otherwise, r is the
+// node's rank and pr its parent's rank.
+func Count(r, pr int64, d float64) int64 {
+	a := Level(r, pr, d)
+	b := 0
+	if a > 0 {
+		b = B(a-1, pr)
+	}
+	return int64(a)*(r+2) + int64(b)
+}
+
+// Rank returns the paper's Section 4 rank of a node: for a random total
+// order identifying elements with 1..n, rank(x) = ⌊lg n⌋ − ⌊lg(n − x + 1)⌋.
+// Here id is zero-based (0..n−1), so x = id + 1. Ranks are monotonically
+// non-decreasing in id: the largest id has rank ⌊lg n⌋ and roughly half of
+// all ids have rank 0.
+func Rank(id uint32, n int) int {
+	if n <= 0 || int64(id) >= int64(n) {
+		panic("ackermann: Rank argument out of range")
+	}
+	return ilog2(int64(n)) - ilog2(int64(n)-int64(id))
+}
+
+// ilog2 returns ⌊lg v⌋ for v ≥ 1.
+func ilog2(v int64) int {
+	if v <= 0 {
+		panic("ackermann: ilog2 of non-positive value")
+	}
+	r := -1
+	for v > 0 {
+		v >>= 1
+		r++
+	}
+	return r
+}

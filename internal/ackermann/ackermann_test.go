@@ -1,0 +1,300 @@
+package ackermann
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestSmallValues pins A_k(j) for small arguments against values computed by
+// hand from the recurrence in Section 2 of the paper.
+func TestSmallValues(t *testing.T) {
+	cases := []struct {
+		k, j int
+		want int64
+	}{
+		{0, 0, 1}, {0, 1, 2}, {0, 5, 6},
+		{1, 0, 2}, {1, 1, 3}, {1, 2, 4}, {1, 10, 12},
+		{2, 0, 3}, {2, 1, 5}, {2, 2, 7}, {2, 10, 23},
+		{3, 0, 5}, {3, 1, 13}, {3, 2, 29}, {3, 3, 61}, {3, 4, 125},
+		{4, 0, 13}, {4, 1, 65533},
+		{5, 0, 65533},
+	}
+	for _, c := range cases {
+		if got := A(c.k, c.j); got != c.want {
+			t.Errorf("A(%d,%d) = %d, want %d", c.k, c.j, got, c.want)
+		}
+	}
+}
+
+// TestRecurrenceHolds checks A_k(j) = A_{k-1}(A_k(j-1)) wherever both sides
+// are representable, directly exercising the defining recurrence rather than
+// the closed forms.
+func TestRecurrenceHolds(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		for j := 1; j <= 6; j++ {
+			inner := A(k, j-1)
+			if inner >= 1<<20 { // outer application would saturate or crawl
+				continue
+			}
+			got := A(k, j)
+			want := apply(k-1, inner)
+			if got != want {
+				t.Errorf("A(%d,%d) = %d, want A(%d, A(%d,%d)) = %d", k, j, got, k-1, k, j-1, want)
+			}
+		}
+	}
+}
+
+func TestBaseCaseColumn(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		if got, want := A(k, 0), A(k-1, 1); got != want {
+			t.Errorf("A(%d,0) = %d, want A(%d,1) = %d", k, got, k-1, want)
+		}
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	if got := A(4, 2); got != Overflow {
+		t.Errorf("A(4,2) = %d, want Overflow", got)
+	}
+	if got := A(6, 0); got != Overflow {
+		t.Errorf("A(6,0) = %d, want Overflow", got)
+	}
+	if got := A(3, 100); got != Overflow {
+		t.Errorf("A(3,100) = %d, want Overflow", got)
+	}
+}
+
+func TestMonotonicInBothArguments(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		for j := 0; j < 8; j++ {
+			if A(k, j) > A(k, j+1) {
+				t.Errorf("A(%d,·) not monotone at j=%d", k, j)
+			}
+			if A(k, j) > A(k+1, j) {
+				t.Errorf("A(·,%d) not monotone at k=%d", j, k)
+			}
+		}
+	}
+}
+
+func TestNegativePanics(t *testing.T) {
+	for _, c := range [][2]int{{-1, 0}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("A(%d,%d) did not panic", c[0], c[1])
+				}
+			}()
+			A(c[0], c[1])
+		}()
+	}
+}
+
+func TestAlphaKnownValues(t *testing.T) {
+	cases := []struct {
+		n    int64
+		d    float64
+		want int
+	}{
+		{1, 0, 1},     // A_1(0) = 2 > 1
+		{2, 0, 2},     // A_1(0) = 2 ≤ 2; A_2(0) = 3 > 2
+		{3, 0, 3},     // A_3(0) = 5 > 3
+		{5, 0, 4},     // A_4(0) = 13 > 5
+		{12, 0, 4},    // A_4(0) = 13 > 12
+		{13, 0, 5},    // A_5(0) = 65533 > 13
+		{65532, 0, 5}, //
+		{65533, 0, 6}, // needs A_6(0) = Overflow
+		{math.MaxInt64 - 1, 0, 6},
+		{100, 1000, 1},  // A_1(1000) = 1002 > 100
+		{1 << 30, 2, 3}, // A_2(2)=7 ≤ n; A_3(2)=29 ≤ n... A_3(2)=29 < 2^30 so need A_4? see below
+		{1000, 5, 3},    // A_1(5)=7, A_2(5)=13, A_3(5)=253... 253 ≤ 1000 so α=4? pinned below
+	}
+	// Re-derive the last two to avoid pinning a miscalculation:
+	// α(2^30, 2): A_1(2)=4, A_2(2)=7, A_3(2)=2^5−3=29, A_4(2)=Overflow → 4.
+	cases[10].want = 4
+	// α(1000, 5): A_1(5)=7, A_2(5)=13, A_3(5)=2^8−3=253, A_4(5)=Overflow → 4.
+	cases[11].want = 4
+	for _, c := range cases {
+		if got := Alpha(c.n, c.d); got != c.want {
+			t.Errorf("Alpha(%d, %v) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestAlphaIsTinyForPracticalInputs(t *testing.T) {
+	// The paper's "constant for all practical purposes": α ≤ 6 for any int64.
+	for _, n := range []int64{10, 1e6, 1e12, math.MaxInt64 - 1} {
+		for _, d := range []float64{0, 0.5, 1, 10, 1e9} {
+			if a := Alpha(n, d); a < 1 || a > 6 {
+				t.Errorf("Alpha(%d, %v) = %d outside [1,6]", n, d, a)
+			}
+		}
+	}
+}
+
+func TestAlphaDefinitionProperty(t *testing.T) {
+	// quick-check the defining property: A_{α}(⌊d⌋) > n and, if α > 1,
+	// A_{α−1}(⌊d⌋) ≤ n.
+	check := func(nRaw uint32, dRaw uint16) bool {
+		n := int64(nRaw)
+		d := float64(dRaw)
+		a := Alpha(n, d)
+		j := int(d)
+		if A(a, j) <= n {
+			return false
+		}
+		if a > 1 && A(a-1, j) > n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBDefinitionProperty(t *testing.T) {
+	for i := 0; i <= 4; i++ {
+		for _, k := range []int64{0, 1, 2, 3, 10, 100, 65533} {
+			b := B(i, k)
+			if A(i, b) <= k {
+				t.Errorf("B(%d,%d)=%d but A(i,b)=%d ≤ k", i, k, b, A(i, b))
+			}
+			if b > 0 && A(i, b-1) > k {
+				t.Errorf("B(%d,%d)=%d not minimal: A(i,b-1)=%d > k", i, k, b, A(i, b-1))
+			}
+		}
+	}
+}
+
+func TestLevelProperties(t *testing.T) {
+	const d = 1.0
+	// (iv): level 0 iff equal ranks.
+	if Level(3, 3, d) != 0 {
+		t.Error("Level(3,3) != 0")
+	}
+	if Level(3, 4, d) == 0 {
+		t.Error("Level(3,4) == 0 for unequal ranks")
+	}
+	// Bounded by α(k,d)+1 (property (i)).
+	for k := int64(0); k < 20; k++ {
+		for j := k; j < 40; j++ {
+			lv := Level(k, j, d)
+			if lv < 0 || lv > Alpha(k, d)+1 {
+				t.Fatalf("Level(%d,%d) = %d outside [0, α+1]", k, j, lv)
+			}
+		}
+	}
+	// Non-decreasing in parent rank j at fixed k (levels only rise as the
+	// parent's rank rises — the engine of the potential argument)...
+	// Levels are defined via thresholds A_i(b(i,k)) > j, and larger j makes
+	// that harder, so Level is non-increasing in j for i-search but the min
+	// construction makes the overall level non-decreasing. Verify empirically.
+	for k := int64(1); k < 10; k++ {
+		prev := Level(k, k, d)
+		for j := k + 1; j < 200; j++ {
+			lv := Level(k, j, d)
+			if lv < prev {
+				t.Fatalf("Level(%d,·) decreased from %d to %d at j=%d", k, prev, lv, j)
+			}
+			prev = lv
+		}
+	}
+}
+
+func TestLevelPanicsWhenRankAboveParent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Level(5,3) did not panic")
+		}
+	}()
+	Level(5, 3, 1)
+}
+
+func TestCountNonDecreasingInParentRank(t *testing.T) {
+	// Property (ii)/(iii) analogue: with fixed node rank, the count never
+	// decreases as the parent's rank grows.
+	const d = 2.0
+	for r := int64(0); r < 12; r++ {
+		prev := Count(r, r, d)
+		if prev < 0 {
+			t.Fatalf("Count(%d,%d) negative", r, r)
+		}
+		for pr := r + 1; pr < 300; pr++ {
+			c := Count(r, pr, d)
+			if c < prev {
+				t.Fatalf("Count(%d,·) decreased from %d to %d at parent rank %d", r, prev, c, pr)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestRankDefinition(t *testing.T) {
+	// n = 8: id 7 (element 8) has rank ⌊lg 8⌋ − ⌊lg 1⌋ = 3; ids 5,6 rank 2...
+	cases := []struct {
+		id   uint32
+		n    int
+		want int
+	}{
+		// n = 8 ranks by id: element x = id+1, rank = 3 − ⌊lg(8 − id)⌋, so
+		// ids 7,6 → 2... recompute: id 7 → ⌊lg 1⌋ = 0 → 3; id 6,5 → ⌊lg 2..3⌋ = 1 → 2;
+		// ids 4..1 → ⌊lg 4..7⌋ = 2 → 1; id 0 → ⌊lg 8⌋ = 3 → 0.
+		{7, 8, 3}, {6, 8, 2}, {5, 8, 2}, {4, 8, 1}, {3, 8, 1}, {2, 8, 1},
+		{1, 8, 1}, {0, 8, 0},
+		{0, 1, 0},
+		{15, 16, 4},
+	}
+	for _, c := range cases {
+		if got := Rank(c.id, c.n); got != c.want {
+			t.Errorf("Rank(%d, %d) = %d, want %d", c.id, c.n, got, c.want)
+		}
+	}
+}
+
+func TestRankMonotoneAndBounded(t *testing.T) {
+	const n = 1000
+	prev := 0
+	zeros := 0
+	for id := uint32(0); id < n; id++ {
+		r := Rank(id, n)
+		if r < prev {
+			t.Fatalf("rank decreased at id %d", id)
+		}
+		if r > ilog2(n) {
+			t.Fatalf("rank %d exceeds ⌊lg n⌋", r)
+		}
+		if r == 0 {
+			zeros++
+		}
+		prev = r
+	}
+	// Roughly half the ids have rank 0 (those with n − id > n/2).
+	if zeros < n/3 || zeros > 2*n/3 {
+		t.Errorf("rank-0 count %d not near n/2", zeros)
+	}
+}
+
+func TestRankPanics(t *testing.T) {
+	for _, c := range []struct {
+		id uint32
+		n  int
+	}{{0, 0}, {5, 5}, {10, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Rank(%d,%d) did not panic", c.id, c.n)
+				}
+			}()
+			Rank(c.id, c.n)
+		}()
+	}
+}
+
+func BenchmarkAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Alpha(int64(i)+1, float64(i%7))
+	}
+}

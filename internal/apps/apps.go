@@ -1,0 +1,153 @@
+// Package apps implements the paper's motivating applications as reusable,
+// tested library functions over the concurrent DSU: parallel connected
+// components, bond percolation, Borůvka minimum spanning forests, and
+// forward–backward strongly connected components. The runnable programs
+// under examples/ are thin drivers over this package.
+package apps
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/dsu"
+	"repro/internal/graph"
+	"repro/internal/randutil"
+)
+
+// clampWorkers normalizes a worker count: ≤ 0 means GOMAXPROCS.
+func clampWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// ParallelCC computes connected-component labels (min vertex per component)
+// of the undirected graph with `workers` goroutines sharing one wait-free
+// DSU.
+func ParallelCC(n int, edges []graph.Edge, workers int) []uint32 {
+	workers = clampWorkers(workers)
+	d := dsu.New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(edges); i += workers {
+				d.Unite(edges[i].U, edges[i].V)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return d.CanonicalLabels()
+}
+
+// Percolates reports whether the size×size bond lattice with exactly the
+// given kept bonds connects its top row to its bottom row, via two virtual
+// terminal elements.
+func Percolates(size int, kept []graph.Edge) bool {
+	n := size * size
+	top := uint32(n)
+	bottom := uint32(n + 1)
+	d := dsu.New(n + 2)
+	for c := 0; c < size; c++ {
+		d.Unite(top, uint32(c))
+		d.Unite(bottom, uint32((size-1)*size+c))
+	}
+	for _, e := range kept {
+		d.Unite(e.U, e.V)
+	}
+	return d.SameSet(top, bottom)
+}
+
+// PercolationPoint estimates the crossing probability at bond-keep
+// probability q on a size×size lattice with the given number of
+// Monte-Carlo trials, run concurrently. Deterministic in seed.
+func PercolationPoint(size, trials, workers int, q float64, seed uint64) float64 {
+	workers = clampWorkers(workers)
+	bonds := graph.Grid(size, size)
+	hits := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for t := w; t < trials; t += workers {
+				rng := randutil.NewXoshiro256(seed + uint64(t)*1_000_003)
+				kept := make([]graph.Edge, 0, len(bonds))
+				for _, b := range bonds {
+					if rng.Float64() < q {
+						kept = append(kept, b)
+					}
+				}
+				if Percolates(size, kept) {
+					hits[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	return float64(total) / float64(trials)
+}
+
+// Boruvka computes a minimum spanning forest with parallel Borůvka rounds
+// over a shared DSU, returning total weight and tree-edge count. With
+// distinct weights the result is the unique MSF. Each round scans edge
+// shards concurrently against the quiescent partition, then applies the
+// chosen lightest edges.
+func Boruvka(n int, edges []graph.WeightedEdge, workers int) (totalWeight float64, treeEdges int) {
+	workers = clampWorkers(workers)
+	d := dsu.New(n)
+	type best struct {
+		idx int
+		w   float64
+	}
+	for {
+		shard := make([]map[uint32]best, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				mine := make(map[uint32]best)
+				for i := w; i < len(edges); i += workers {
+					e := edges[i]
+					if e.U == e.V || d.SameSet(e.U, e.V) {
+						continue
+					}
+					for _, side := range [2]uint32{d.Find(e.U), d.Find(e.V)} {
+						if b, ok := mine[side]; !ok || e.W < b.w {
+							mine[side] = best{i, e.W}
+						}
+					}
+				}
+				shard[w] = mine
+			}(w)
+		}
+		wg.Wait()
+		chosen := make(map[uint32]best)
+		for _, mine := range shard {
+			for comp, b := range mine {
+				if cur, ok := chosen[comp]; !ok || b.w < cur.w {
+					chosen[comp] = b
+				}
+			}
+		}
+		added := 0
+		for _, b := range chosen {
+			e := edges[b.idx]
+			if d.Unite(e.U, e.V) {
+				totalWeight += e.W
+				treeEdges++
+				added++
+			}
+		}
+		if added == 0 {
+			return totalWeight, treeEdges
+		}
+	}
+}

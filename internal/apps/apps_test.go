@@ -1,0 +1,254 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/randutil"
+)
+
+func TestParallelCCMatchesBFS(t *testing.T) {
+	for _, tc := range []struct {
+		n, m    int
+		seed    uint64
+		workers int
+	}{
+		{100, 50, 1, 4},     // sparse, many components
+		{100, 300, 2, 8},    // denser
+		{1000, 1500, 3, 8},  // mid-size
+		{5000, 20000, 4, 0}, // default workers
+	} {
+		edges := graph.ErdosRenyi(tc.n, tc.m, tc.seed)
+		got := ParallelCC(tc.n, edges, tc.workers)
+		want := graph.RefComponents(tc.n, edges)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d m=%d: vertex %d label %d, want %d", tc.n, tc.m, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestParallelCCQuick(t *testing.T) {
+	check := func(seed uint64) bool {
+		const n = 60
+		edges := graph.ErdosRenyi(n, 80, seed)
+		got := ParallelCC(n, edges, 4)
+		want := graph.RefComponents(n, edges)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercolatesExtremes(t *testing.T) {
+	const size = 16
+	bonds := graph.Grid(size, size)
+	if !Percolates(size, bonds) {
+		t.Fatal("full lattice must percolate")
+	}
+	if Percolates(size, nil) {
+		t.Fatal("empty lattice must not percolate")
+	}
+	// A single full column of vertical bonds percolates.
+	var column []graph.Edge
+	for r := 0; r+1 < size; r++ {
+		v := uint32(r*size + 3)
+		column = append(column, graph.Edge{U: v, V: v + uint32(size)})
+	}
+	if !Percolates(size, column) {
+		t.Fatal("vertical column must percolate")
+	}
+	// A full row of horizontal bonds does not connect top to bottom.
+	var row []graph.Edge
+	for c := 0; c+1 < size; c++ {
+		v := uint32(5*size + c)
+		row = append(row, graph.Edge{U: v, V: v + 1})
+	}
+	if Percolates(size, row) {
+		t.Fatal("horizontal row must not percolate")
+	}
+}
+
+func TestPercolationPointMonotoneAcrossThreshold(t *testing.T) {
+	// Below threshold ≈ 0, above ≈ 1, and deterministic in seed.
+	lo := PercolationPoint(32, 24, 4, 0.25, 7)
+	hi := PercolationPoint(32, 24, 4, 0.75, 7)
+	if lo > 0.2 {
+		t.Errorf("P(percolate | q=0.25) = %v, expected near 0", lo)
+	}
+	if hi < 0.8 {
+		t.Errorf("P(percolate | q=0.75) = %v, expected near 1", hi)
+	}
+	if again := PercolationPoint(32, 24, 4, 0.25, 7); again != lo {
+		t.Errorf("same seed gave %v then %v", lo, again)
+	}
+}
+
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	for _, tc := range []struct {
+		n, m int
+		seed uint64
+	}{
+		{50, 200, 1},
+		{500, 2000, 2},
+		{2000, 10000, 3},
+	} {
+		edges := graph.RandomWeights(graph.ErdosRenyi(tc.n, tc.m, tc.seed), tc.seed+10)
+		gotW, gotK := Boruvka(tc.n, edges, 8)
+		wantW, wantK := graph.KruskalRef(tc.n, edges)
+		if gotK != wantK {
+			t.Fatalf("n=%d: %d tree edges, want %d", tc.n, gotK, wantK)
+		}
+		if math.Abs(gotW-wantW) > 1e-9*math.Max(1, wantW) {
+			t.Fatalf("n=%d: weight %v, want %v", tc.n, gotW, wantW)
+		}
+	}
+}
+
+func TestBoruvkaDisconnectedAndEmpty(t *testing.T) {
+	// Two disconnected pairs → forest of 2 edges.
+	edges := []graph.WeightedEdge{{U: 0, V: 1, W: 0.5}, {U: 2, V: 3, W: 0.25}}
+	w, k := Boruvka(4, edges, 2)
+	if k != 2 || math.Abs(w-0.75) > 1e-12 {
+		t.Fatalf("forest = (%v, %d), want (0.75, 2)", w, k)
+	}
+	// No edges at all.
+	w, k = Boruvka(5, nil, 2)
+	if k != 0 || w != 0 {
+		t.Fatalf("empty graph gave (%v, %d)", w, k)
+	}
+	// Self-loops only.
+	w, k = Boruvka(3, []graph.WeightedEdge{{U: 1, V: 1, W: 0.1}}, 2)
+	if k != 0 || w != 0 {
+		t.Fatalf("self-loop graph gave (%v, %d)", w, k)
+	}
+}
+
+func sccEqual(t *testing.T, n int, edges []graph.Edge, workers int) {
+	t.Helper()
+	got := SCC(n, edges, workers)
+	want := CanonicalSCCLabels(TarjanSCC(graph.Build(n, edges, true)))
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: FB label %d, Tarjan label %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSCCKnownGraphs(t *testing.T) {
+	// Two 3-cycles joined by a one-way bridge, plus an isolated vertex.
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // cycle A
+		{U: 2, V: 3},                             // bridge
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3}, // cycle B
+	}
+	got := SCC(7, edges, 4)
+	if got[0] != got[1] || got[1] != got[2] {
+		t.Fatal("cycle A not one component")
+	}
+	if got[3] != got[4] || got[4] != got[5] {
+		t.Fatal("cycle B not one component")
+	}
+	if got[0] == got[3] {
+		t.Fatal("bridge direction ignored: A and B merged")
+	}
+	if got[6] != 6 {
+		t.Fatal("isolated vertex mislabelled")
+	}
+	sccEqual(t, 7, edges, 4)
+}
+
+func TestSCCDAGAllSingletons(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}}
+	got := SCC(4, edges, 2)
+	for v, l := range got {
+		if l != uint32(v) {
+			t.Fatalf("DAG vertex %d got label %d", v, l)
+		}
+	}
+}
+
+func TestSCCOneBigCycle(t *testing.T) {
+	const n = 1000
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{U: uint32(i), V: uint32((i + 1) % n)}
+	}
+	got := SCC(n, edges, 8)
+	for v, l := range got {
+		if l != 0 {
+			t.Fatalf("cycle vertex %d got label %d", v, l)
+		}
+	}
+}
+
+func TestSCCRandomMatchesTarjan(t *testing.T) {
+	for _, tc := range []struct {
+		scale, m int
+		seed     uint64
+	}{
+		{8, 1000, 1},
+		{10, 8000, 2},
+		{12, 40000, 3},
+	} {
+		edges := graph.RMAT(tc.scale, tc.m, tc.seed)
+		sccEqual(t, 1<<tc.scale, edges, 8)
+	}
+}
+
+func TestSCCQuick(t *testing.T) {
+	check := func(seed uint64) bool {
+		const n = 40
+		rng := randutil.NewXoshiro256(seed)
+		edges := make([]graph.Edge, 80)
+		for i := range edges {
+			edges[i] = graph.Edge{U: uint32(rng.Intn(n)), V: uint32(rng.Intn(n))}
+		}
+		got := SCC(n, edges, 4)
+		want := CanonicalSCCLabels(TarjanSCC(graph.Build(n, edges, true)))
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalSCCLabels(t *testing.T) {
+	comp := []uint32{2, 2, 0, 0, 1}
+	got := CanonicalSCCLabels(comp)
+	want := []uint32{0, 0, 2, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkParallelCC(b *testing.B) {
+	const n, m = 1 << 16, 1 << 18
+	edges := graph.ErdosRenyi(n, m, 1)
+	for i := 0; i < b.N; i++ {
+		ParallelCC(n, edges, 0)
+	}
+}
+
+func BenchmarkSCC(b *testing.B) {
+	edges := graph.RMAT(14, 100000, 1)
+	for i := 0; i < b.N; i++ {
+		SCC(1<<14, edges, 0)
+	}
+}

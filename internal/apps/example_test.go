@@ -1,0 +1,48 @@
+package apps_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/graph"
+)
+
+// Connected components of a small explicit graph.
+func ExampleParallelCC() {
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	labels := apps.ParallelCC(6, edges, 2)
+	fmt.Println(labels)
+	// Output: [0 0 0 3 3 5]
+}
+
+// A lattice with all bonds open percolates; with none it cannot.
+func ExamplePercolates() {
+	size := 8
+	fmt.Println(apps.Percolates(size, graph.Grid(size, size)))
+	fmt.Println(apps.Percolates(size, nil))
+	// Output:
+	// true
+	// false
+}
+
+// Minimum spanning forest weight of a triangle.
+func ExampleBoruvka() {
+	edges := []graph.WeightedEdge{
+		{U: 0, V: 1, W: 1},
+		{U: 1, V: 2, W: 2},
+		{U: 0, V: 2, W: 10},
+	}
+	weight, count := apps.Boruvka(3, edges, 2)
+	fmt.Println(weight, count)
+	// Output: 3 2
+}
+
+// Strongly connected components: a 3-cycle feeding a sink.
+func ExampleSCC() {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // cycle
+		{U: 2, V: 3}, // one-way exit
+	}
+	fmt.Println(apps.SCC(4, edges, 2))
+	// Output: [0 0 0 3]
+}

@@ -1,0 +1,259 @@
+package apps
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/dsu"
+	"repro/internal/graph"
+)
+
+// SCC computes strongly-connected-component labels (min vertex per
+// component) of the directed graph with the forward–backward (FB)
+// divide-and-conquer algorithm, collapsing each discovered component into a
+// shared wait-free DSU with concurrent workers — the access pattern of
+// on-the-fly SCC decomposition in model checking (Bloemen et al.), the
+// paper's headline motivation.
+func SCC(n int, edges []graph.Edge, workers int) []uint32 {
+	workers = clampWorkers(workers)
+	fwd := graph.Build(n, edges, true)
+	rev := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		rev[i] = graph.Edge{U: e.V, V: e.U}
+	}
+	bwd := graph.Build(n, rev, true)
+
+	d := dsu.New(n)
+	s := &fbState{
+		fwd: fwd, rev: bwd, d: d,
+		region: make([]atomic.Int64, n),
+		inF:    make([]bool, n),
+		inB:    make([]bool, n),
+		sem:    make(chan struct{}, workers),
+	}
+	all := make([]uint32, n)
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	s.run(all, s.nextRegion())
+	s.wg.Wait()
+	return d.CanonicalLabels()
+}
+
+// fbState carries the shared state of the FB recursion. Every vertex
+// belongs to exactly one active recursive call (its region), so inF/inB
+// have a single writer at any time; region tags are written only by a
+// vertex's owner but are READ across regions (BFS checks neighbours'
+// membership), so they are atomic. Region ids are never reused, so a
+// cross-region read returning either the old or the new tag compares
+// unequal to the reader's id either way.
+type fbState struct {
+	fwd, rev  *graph.Adjacency
+	d         *dsu.DSU
+	region    []atomic.Int64
+	inF, inB  []bool
+	regionCtr atomic.Int64
+	sem       chan struct{}
+	wg        sync.WaitGroup
+}
+
+func (s *fbState) nextRegion() int64 { return s.regionCtr.Add(1) }
+
+// run processes one active vertex set; it collapses the pivot's SCC and
+// recurses on the three independent parts, farming out what it can.
+func (s *fbState) run(vertices []uint32, id int64) {
+	for len(vertices) > 0 {
+		for _, v := range vertices {
+			s.region[v].Store(id)
+		}
+		pivot := vertices[0]
+		f := s.bfs(s.fwd, pivot, id, s.inF)
+		b := s.bfs(s.rev, pivot, id, s.inB)
+
+		var scc, fOnly, bOnly, rest []uint32
+		for _, v := range f {
+			if s.inB[v] {
+				scc = append(scc, v)
+			} else {
+				fOnly = append(fOnly, v)
+			}
+		}
+		for _, v := range b {
+			if !s.inF[v] {
+				bOnly = append(bOnly, v)
+			}
+		}
+		for _, v := range vertices {
+			if !s.inF[v] && !s.inB[v] {
+				rest = append(rest, v)
+			}
+		}
+		for _, v := range f {
+			s.inF[v] = false
+		}
+		for _, v := range b {
+			s.inB[v] = false
+		}
+
+		s.collapse(scc)
+		s.spawn(fOnly)
+		s.spawn(bOnly)
+		vertices = rest
+		id = s.nextRegion()
+	}
+}
+
+func (s *fbState) spawn(part []uint32) {
+	if len(part) == 0 {
+		return
+	}
+	id := s.nextRegion()
+	select {
+	case s.sem <- struct{}{}:
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.run(part, id)
+		}()
+	default:
+		s.run(part, id)
+	}
+}
+
+// collapse unites all SCC members into the pivot, chunked across workers
+// for large components.
+func (s *fbState) collapse(scc []uint32) {
+	if len(scc) <= 1 {
+		return
+	}
+	pivot := scc[0]
+	const chunk = 2048
+	if len(scc) <= chunk {
+		for _, v := range scc[1:] {
+			s.d.Unite(pivot, v)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 1; lo < len(scc); lo += chunk {
+		hi := lo + chunk
+		if hi > len(scc) {
+			hi = len(scc)
+		}
+		wg.Add(1)
+		go func(part []uint32) {
+			defer wg.Done()
+			for _, v := range part {
+				s.d.Unite(pivot, v)
+			}
+		}(scc[lo:hi])
+	}
+	wg.Wait()
+}
+
+// bfs explores from pivot inside region id, marking mark[v] and returning
+// the visited set (including pivot).
+func (s *fbState) bfs(adj *graph.Adjacency, pivot uint32, id int64, mark []bool) []uint32 {
+	visited := []uint32{pivot}
+	mark[pivot] = true
+	for head := 0; head < len(visited); head++ {
+		for _, w := range adj.Neighbors(visited[head]) {
+			if s.region[w].Load() == id && !mark[w] {
+				mark[w] = true
+				visited = append(visited, w)
+			}
+		}
+	}
+	return visited
+}
+
+// TarjanSCC is the sequential reference: iterative Tarjan returning a
+// component id per vertex (ids in reverse-topological discovery order).
+func TarjanSCC(adj *graph.Adjacency) []uint32 {
+	n := adj.N()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]uint32, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		nComp   uint32
+		stack   []uint32
+	)
+	type frame struct {
+		v    uint32
+		edge int32
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		callStack := []frame{{uint32(start), 0}}
+		index[start] = counter
+		low[start] = counter
+		counter++
+		stack = append(stack, uint32(start))
+		onStack[start] = true
+		for len(callStack) > 0 {
+			fr := &callStack[len(callStack)-1]
+			neighbors := adj.Neighbors(fr.v)
+			if int(fr.edge) < len(neighbors) {
+				w := neighbors[fr.edge]
+				fr.edge++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[fr.v] {
+					low[fr.v] = index[w]
+				}
+				continue
+			}
+			v := fr.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[v] < low[parent.v] {
+					low[parent.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// CanonicalSCCLabels converts arbitrary component ids into min-vertex
+// labels so partitions from different algorithms compare directly.
+func CanonicalSCCLabels(comp []uint32) []uint32 {
+	minOf := make(map[uint32]uint32, len(comp))
+	for v, c := range comp {
+		if cur, ok := minOf[c]; !ok || uint32(v) < cur {
+			minOf[c] = uint32(v)
+		}
+	}
+	out := make([]uint32, len(comp))
+	for v, c := range comp {
+		out[v] = minOf[c]
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+// Package apram simulates the asynchronous parallel random-access machine
+// (APRAM) of Cole & Zajicek / Gibbons, the computation model of Jayanti &
+// Tarjan and of Anderson & Woll: p asynchronous processes, each with local
+// memory, sharing a word-addressed common memory that supports atomic Read,
+// Write, and CAS. There is no synchrony assumption — any process may run
+// arbitrarily slowly relative to any other.
+//
+// The simulator serializes shared-memory steps: a pluggable Scheduler picks
+// which pending process performs its next shared-memory operation, one at a
+// time. Consequences, each load-bearing for the experiments:
+//
+//   - every interleaving of shared-memory steps is schedulable, including
+//     the exact lockstep schedules used by the paper's lower-bound
+//     constructions (Theorem 5.4) and the halving-simulates-splitting
+//     example of Section 3;
+//   - runs are deterministic given (programs, scheduler), so failures
+//     replay exactly;
+//   - total work equals granted steps, the precise cost metric of the
+//     paper's theorems — native timing noise (GC, Go scheduler) is absent;
+//   - an Observer sees every step and can check invariants such as
+//     Lemma 3.1 on every single CAS.
+//
+// Local computation between shared-memory steps is free, matching the
+// model's accounting in which work is counted in shared-memory steps.
+package apram
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OpKind is the kind of one shared-memory step.
+type OpKind uint8
+
+const (
+	// OpRead loads a word.
+	OpRead OpKind = iota + 1
+	// OpWrite stores a word unconditionally.
+	OpWrite
+	// OpCAS compares-and-swaps a word.
+	OpCAS
+)
+
+// String names the op for traces.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Step describes one granted shared-memory step, as seen by an Observer.
+type Step struct {
+	Index  int64  // global step number, from 0
+	Proc   int    // process that performed it
+	Kind   OpKind //
+	Addr   int    // word address
+	Before uint64 // memory value before the step
+	After  uint64 // memory value after the step
+	OK     bool   // CAS success (true for reads/writes)
+}
+
+// Scheduler picks which pending process steps next. ready is the sorted
+// slice of process ids that have a pending shared-memory operation; Next
+// returns an index into ready. Schedulers may keep state; they are used by
+// one Machine at a time.
+type Scheduler interface {
+	Next(ready []int, step int64) int
+}
+
+// Observer is called after every granted step; nil disables observation.
+type Observer func(Step)
+
+// Program is the code of one process: it receives its process handle and
+// runs to completion, performing shared-memory operations through it.
+type Program func(*P)
+
+// CrashStop is the panic value delivered inside a process whose step limit
+// (SetStepLimit) is exhausted: the crash-stop failure model. A program that
+// wants to survive its own crash point recovers it; anything else
+// propagates as a normal program panic.
+type CrashStop struct{}
+
+// Machine is one simulation instance. Create with NewMachine, add programs,
+// then call Run exactly once.
+type Machine struct {
+	mem       []uint64
+	programs  []Program
+	sched     Scheduler
+	obs       Observer
+	maxSteps  int64
+	stepLimit map[int]int64 // per-process crash-stop points
+
+	steps     []int64 // granted steps per process
+	totalStep int64
+	events    atomic.Int64 // logical event clock for Tick
+	ran       bool
+}
+
+// NewMachine returns a machine with words of zeroed shared memory and the
+// given scheduler. maxSteps bounds total steps as a livelock guard (≤ 0
+// means no bound); exceeding it panics, which tests convert to failures.
+func NewMachine(words int, sched Scheduler, maxSteps int64) *Machine {
+	if words < 0 {
+		panic("apram: negative memory size")
+	}
+	if sched == nil {
+		panic("apram: nil scheduler")
+	}
+	return &Machine{
+		mem:      make([]uint64, words),
+		sched:    sched,
+		maxSteps: maxSteps,
+	}
+}
+
+// Mem returns the shared memory for pre-run initialization and post-run
+// inspection. It must not be touched while Run is executing.
+func (m *Machine) Mem() []uint64 { return m.mem }
+
+// SetObserver installs an observer called on every granted step.
+func (m *Machine) SetObserver(obs Observer) { m.obs = obs }
+
+// AddProgram registers the next process's program and returns its id.
+func (m *Machine) AddProgram(p Program) int {
+	if m.ran {
+		panic("apram: AddProgram after Run")
+	}
+	m.programs = append(m.programs, p)
+	return len(m.programs) - 1
+}
+
+// SetStepLimit makes process proc crash-stop at exactly the given number of
+// granted shared-memory steps: its next attempted step panics with
+// CrashStop inside the process instead of executing. Call before Run.
+// Fault-injection tests use this to place a crash at every possible point
+// of an execution.
+func (m *Machine) SetStepLimit(proc int, limit int64) {
+	if m.ran {
+		panic("apram: SetStepLimit after Run")
+	}
+	if m.stepLimit == nil {
+		m.stepLimit = make(map[int]int64)
+	}
+	m.stepLimit[proc] = limit
+}
+
+// Steps returns per-process granted step counts (valid after Run).
+func (m *Machine) Steps() []int64 { return m.steps }
+
+// TotalSteps returns the total granted steps (valid after Run).
+func (m *Machine) TotalSteps() int64 { return m.totalStep }
+
+// event is what a process goroutine sends the machine: either its next
+// pending request or completion.
+type event struct {
+	req  *request
+	done bool
+}
+
+type request struct {
+	kind     OpKind
+	addr     int
+	val      uint64 // write value / CAS new
+	old      uint64 // CAS expected
+	resp     chan response
+	panicked any // forwarded panic from the program goroutine
+}
+
+type response struct {
+	val     uint64
+	ok      bool
+	crashed bool
+}
+
+// P is a process handle passed to its Program. Its methods perform
+// shared-memory steps and blockingly wait for the scheduler's grant. A P is
+// owned by its program goroutine.
+type P struct {
+	id     int
+	m      *Machine
+	events chan event
+	resp   chan response
+}
+
+// ID returns the process id (0-based, in AddProgram order).
+func (p *P) ID() int { return p.id }
+
+// Now returns the number of shared-memory steps granted so far, a global
+// logical clock. It is safe to call from the program goroutine between its
+// own shared-memory operations: either no step has been granted yet (the
+// machine collects every process's first request before granting), or the
+// machine is quiescent waiting for this process's next request, and the
+// channel handshake orders its last counter write before this read.
+func (p *P) Now() int64 { return p.m.totalStep }
+
+// StepsTaken returns the number of shared-memory steps this process has
+// been granted so far. Safe to call from the program goroutine between its
+// own shared-memory operations, under the same argument as Now. Used to
+// measure per-operation step counts (the quantity Lemma 3.3 bounds).
+func (p *P) StepsTaken() int64 { return p.m.steps[p.id] }
+
+// Tick atomically advances and returns the machine's logical event clock.
+// Tick values are globally unique and their order is consistent with real
+// time, so operation histories use Tick for invocation/response timestamps:
+// op A really-precedes op B exactly when A's response tick is smaller than
+// B's invocation tick. (The step counter of Now cannot serve: an operation
+// that needs no shared-memory step would get a zero-length interval that
+// ties with its neighbours.)
+func (p *P) Tick() int64 { return p.m.events.Add(1) }
+
+// Read performs an atomic load of addr.
+func (p *P) Read(addr int) uint64 {
+	return p.issue(request{kind: OpRead, addr: addr})
+}
+
+// Write performs an atomic store to addr.
+func (p *P) Write(addr int, val uint64) {
+	p.issue(request{kind: OpWrite, addr: addr, val: val})
+}
+
+// CAS atomically replaces mem[addr] with new if it equals old, reporting
+// whether it did.
+func (p *P) CAS(addr int, old, new uint64) bool {
+	r := request{kind: OpCAS, addr: addr, old: old, val: new}
+	r.resp = p.resp
+	p.events <- event{req: &r}
+	got := <-p.resp
+	if got.crashed {
+		panic(CrashStop{})
+	}
+	return got.ok
+}
+
+func (p *P) issue(r request) uint64 {
+	r.resp = p.resp
+	p.events <- event{req: &r}
+	got := <-p.resp
+	if got.crashed {
+		panic(CrashStop{})
+	}
+	return got.val
+}
+
+// Run executes all registered programs to completion under the scheduler
+// and returns the total number of granted steps. It panics (after shutting
+// down cleanly) if a program panics, a request is out of range, or the step
+// bound is exceeded.
+func (m *Machine) Run() int64 {
+	if m.ran {
+		panic("apram: Run called twice")
+	}
+	m.ran = true
+	n := len(m.programs)
+	m.steps = make([]int64, n)
+	procs := make([]*P, n)
+	for i := range procs {
+		procs[i] = &P{
+			id: i,
+			m:  m,
+			// Buffer 1 so a finishing goroutine can post done and exit
+			// without the machine actively receiving at that instant.
+			events: make(chan event, 1),
+			resp:   make(chan response, 1),
+		}
+	}
+	for i, prog := range m.programs {
+		go func(i int, prog Program) {
+			p := procs[i]
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isCrash := r.(CrashStop); isCrash {
+						// Crash-stop is a modelled failure, not a bug: the
+						// process dies silently, mid-operation state stays.
+						p.events <- event{done: true}
+						return
+					}
+					p.events <- event{req: &request{panicked: r}}
+					return
+				}
+				p.events <- event{done: true}
+			}()
+			prog(p)
+		}(i, prog)
+	}
+
+	pending := make([]*request, n)
+	live := 0
+	await := func(i int) {
+		ev := <-procs[i].events
+		switch {
+		case ev.done:
+			pending[i] = nil
+			live--
+		case ev.req.panicked != nil:
+			panic(fmt.Sprintf("apram: process %d panicked: %v", i, ev.req.panicked))
+		default:
+			pending[i] = ev.req
+		}
+	}
+	live = n
+	for i := 0; i < n; i++ {
+		await(i)
+	}
+
+	ready := make([]int, 0, n)
+	for live > 0 {
+		ready = ready[:0]
+		for i := 0; i < n; i++ {
+			if pending[i] != nil {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) == 0 {
+			break // all remaining processes finished
+		}
+		choice := m.sched.Next(ready, m.totalStep)
+		if choice < 0 || choice >= len(ready) {
+			panic(fmt.Sprintf("apram: scheduler chose %d of %d ready", choice, len(ready)))
+		}
+		proc := ready[choice]
+		r := pending[proc]
+		if lim, limited := m.stepLimit[proc]; limited && m.steps[proc] >= lim {
+			// Crash-stop point reached: the step is refused and the process
+			// sees a CrashStop panic instead of a result.
+			r.resp <- response{crashed: true}
+			await(proc)
+			continue
+		}
+		if r.addr < 0 || r.addr >= len(m.mem) {
+			panic(fmt.Sprintf("apram: process %d address %d out of range", proc, r.addr))
+		}
+		before := m.mem[r.addr]
+		var resp response
+		switch r.kind {
+		case OpRead:
+			resp = response{val: before, ok: true}
+		case OpWrite:
+			m.mem[r.addr] = r.val
+			resp = response{val: before, ok: true}
+		case OpCAS:
+			if before == r.old {
+				m.mem[r.addr] = r.val
+				resp = response{ok: true}
+			}
+		default:
+			panic(fmt.Sprintf("apram: unknown op kind %d", r.kind))
+		}
+		if m.obs != nil {
+			m.obs(Step{
+				Index:  m.totalStep,
+				Proc:   proc,
+				Kind:   r.kind,
+				Addr:   r.addr,
+				Before: before,
+				After:  m.mem[r.addr],
+				OK:     resp.ok,
+			})
+		}
+		m.steps[proc]++
+		m.totalStep++
+		if m.maxSteps > 0 && m.totalStep > m.maxSteps {
+			panic(fmt.Sprintf("apram: exceeded step bound %d (livelock?)", m.maxSteps))
+		}
+		r.resp <- resp
+		await(proc)
+	}
+	return m.totalStep
+}

@@ -1,0 +1,122 @@
+package apram
+
+import "testing"
+
+func TestStepLimitCrashStopsProcess(t *testing.T) {
+	m := NewMachine(4, fixedSched{}, 0)
+	reached := 0
+	victim := m.AddProgram(func(p *P) {
+		for i := 0; i < 10; i++ {
+			p.Write(0, uint64(i)+1)
+			reached++
+		}
+	})
+	m.SetStepLimit(victim, 3)
+	m.Run()
+	if reached != 3 {
+		t.Fatalf("victim completed %d writes, want 3", reached)
+	}
+	if m.Mem()[0] != 3 {
+		t.Fatalf("mem[0] = %d, want 3", m.Mem()[0])
+	}
+	if m.Steps()[victim] != 3 {
+		t.Fatalf("victim charged %d steps, want 3", m.Steps()[victim])
+	}
+}
+
+func TestStepLimitZeroCrashesImmediately(t *testing.T) {
+	m := NewMachine(1, fixedSched{}, 0)
+	entered := false
+	victim := m.AddProgram(func(p *P) {
+		entered = true
+		p.Read(0)
+		t.Error("read returned after crash point")
+	})
+	m.SetStepLimit(victim, 0)
+	m.Run()
+	if !entered {
+		t.Fatal("program never ran")
+	}
+}
+
+func TestCrashDoesNotDisturbOthers(t *testing.T) {
+	m := NewMachine(2, &alternating{}, 0)
+	victim := m.AddProgram(func(p *P) {
+		for i := 0; i < 100; i++ {
+			p.Write(0, 1)
+		}
+	})
+	m.AddProgram(func(p *P) {
+		for i := 0; i < 50; i++ {
+			v := p.Read(1)
+			p.Write(1, v+1)
+		}
+	})
+	m.SetStepLimit(victim, 5)
+	m.Run()
+	if m.Mem()[1] != 50 {
+		t.Fatalf("survivor result %d, want 50", m.Mem()[1])
+	}
+}
+
+func TestCrashRunsProgramDefers(t *testing.T) {
+	m := NewMachine(1, fixedSched{}, 0)
+	deferRan := false
+	var stepsAtCrash int64
+	victim := m.AddProgram(func(p *P) {
+		defer func() {
+			deferRan = true
+			stepsAtCrash = p.StepsTaken()
+		}()
+		for i := 0; i < 10; i++ {
+			p.Read(0)
+		}
+	})
+	m.SetStepLimit(victim, 4)
+	m.Run()
+	if !deferRan {
+		t.Fatal("deferred function skipped during crash-stop")
+	}
+	if stepsAtCrash != 4 {
+		t.Fatalf("StepsTaken at crash = %d, want 4", stepsAtCrash)
+	}
+}
+
+func TestRecoveredCrashStopContinuesLocally(t *testing.T) {
+	// A program may recover CrashStop and finish local (non-shared) work;
+	// further shared-memory steps crash again.
+	m := NewMachine(1, fixedSched{}, 0)
+	phase := 0
+	victim := m.AddProgram(func(p *P) {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(CrashStop); !ok {
+						panic(r)
+					}
+					phase = 1
+				}
+			}()
+			p.Read(0)
+			p.Read(0)
+		}()
+		phase = 2 // purely local continuation is allowed
+	})
+	m.SetStepLimit(victim, 1)
+	m.Run()
+	if phase != 2 {
+		t.Fatalf("phase = %d, want 2", phase)
+	}
+}
+
+func TestSetStepLimitAfterRunPanics(t *testing.T) {
+	m := NewMachine(1, fixedSched{}, 0)
+	m.AddProgram(func(p *P) { p.Read(0) })
+	m.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.SetStepLimit(0, 1)
+}

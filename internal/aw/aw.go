@@ -1,0 +1,275 @@
+// Package aw implements the comparator algorithm of Anderson & Woll
+// ("Wait-free parallel algorithms for the union-find problem", STOC 1991)
+// that Jayanti & Tarjan measure themselves against: concurrent linking by
+// rank with path halving.
+//
+// Anderson & Woll store each node's (parent, rank) pair behind one level of
+// indirection so that both can be compared and updated by a single CAS. We
+// achieve the identical atomicity by packing parent (low 32 bits) and rank
+// (high 32 bits) into one 64-bit word updated by a single CAS — the same
+// granularity of atomic update with the same link/halve logic, minus the
+// allocation churn of indirection records (the substitution is recorded in
+// DESIGN.md). Rank ties are broken by element index, and the winner's rank
+// is bumped by a best-effort CAS, which is exactly the complication the
+// Jayanti–Tarjan randomized order eliminates.
+//
+// The package also provides Locked, a global-mutex sequential structure that
+// serves as the lock-based baseline in the speedup experiments.
+package aw
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// DSU is a wait-free concurrent union-find using linking by rank with path
+// halving, Anderson–Woll style. All methods are safe for concurrent use.
+//
+// NewSplitting builds the variant that compacts by one-try splitting
+// instead of halving — Jayanti & Tarjan's Section 7 teases exactly such
+// deterministic rank-based companions to their randomized algorithm (no
+// independence assumption needed, at the price of carrying ranks in the
+// CAS word).
+type DSU struct {
+	node      []atomic.Uint64 // high 32 bits rank, low 32 bits parent
+	splitting bool            // compact by splitting instead of halving
+}
+
+func pack(parent, rank uint32) uint64 { return uint64(rank)<<32 | uint64(parent) }
+
+func unpack(w uint64) (parent, rank uint32) { return uint32(w), uint32(w >> 32) }
+
+// New returns a DSU over n singleton elements, each with rank 0.
+// It panics if n is negative or exceeds 2³¹−1.
+func New(n int) *DSU {
+	if n < 0 || int64(n) > int64(1)<<31-1 {
+		panic("aw: element count out of range")
+	}
+	d := &DSU{node: make([]atomic.Uint64, n)}
+	for i := range d.node {
+		d.node[i].Store(pack(uint32(i), 0))
+	}
+	return d
+}
+
+// NewSplitting returns a rank-linked DSU whose finds compact by one-try
+// splitting rather than halving.
+func NewSplitting(n int) *DSU {
+	d := New(n)
+	d.splitting = true
+	return d
+}
+
+// N returns the number of elements.
+func (d *DSU) N() int { return len(d.node) }
+
+// Find returns the root of x's tree, halving the find path.
+func (d *DSU) Find(x uint32) uint32 { return d.find(x, nil) }
+
+// FindCounted is Find with work accounting into st (shared-word loads and
+// CAS attempts, same units as package core).
+func (d *DSU) FindCounted(x uint32, st *core.Stats) uint32 {
+	if st != nil {
+		st.Finds++
+	}
+	return d.find(x, st)
+}
+
+func (d *DSU) find(x uint32, st *core.Stats) uint32 {
+	u := x
+	var steps, reads, cas, casFail int64
+	for {
+		steps++
+		wu := d.node[u].Load()
+		reads++
+		p, r := unpack(wu)
+		if p == u {
+			break
+		}
+		wp := d.node[p].Load()
+		reads++
+		g, _ := unpack(wp)
+		if g == p {
+			u = p
+			break
+		}
+		// Compact: swing u's parent to its grandparent, leaving u's rank
+		// untouched; a failure just means someone else already moved it.
+		// Halving then jumps to the grandparent, splitting to the parent.
+		cas++
+		if !d.node[u].CompareAndSwap(wu, pack(g, r)) {
+			casFail++
+		}
+		if d.splitting {
+			u = p
+		} else {
+			u = g
+		}
+	}
+	if st != nil {
+		st.FindSteps += steps
+		st.Reads += reads
+		st.CASAttempts += cas
+		st.CASFailures += casFail
+	}
+	return u
+}
+
+// SameSet reports whether x and y are in the same set (linearizable).
+func (d *DSU) SameSet(x, y uint32) bool { return d.sameSet(x, y, nil) }
+
+// SameSetCounted is SameSet with work accounting.
+func (d *DSU) SameSetCounted(x, y uint32, st *core.Stats) bool { return d.sameSet(x, y, st) }
+
+func (d *DSU) sameSet(x, y uint32, st *core.Stats) bool {
+	if st != nil {
+		defer func() { st.Ops++ }()
+	}
+	u, v := x, y
+	for {
+		if st != nil {
+			st.Rounds++
+		}
+		u = d.find(u, st)
+		v = d.find(v, st)
+		if u == v {
+			return true
+		}
+		if st != nil {
+			st.Reads++
+		}
+		if p, _ := unpack(d.node[u].Load()); p == u {
+			return false
+		}
+	}
+}
+
+// Unite merges the sets containing x and y, reporting whether this call
+// performed the link.
+func (d *DSU) Unite(x, y uint32) bool { return d.unite(x, y, nil) }
+
+// UniteCounted is Unite with work accounting.
+func (d *DSU) UniteCounted(x, y uint32, st *core.Stats) bool { return d.unite(x, y, st) }
+
+func (d *DSU) unite(x, y uint32, st *core.Stats) bool {
+	if st != nil {
+		defer func() { st.Ops++ }()
+	}
+	u, v := x, y
+	for {
+		if st != nil {
+			st.Rounds++
+		}
+		u = d.find(u, st)
+		v = d.find(v, st)
+		if u == v {
+			return false
+		}
+		// Re-read both roots' words; retry from the top if either has
+		// stopped being a root (its rank read would be stale otherwise).
+		wu := d.node[u].Load()
+		wv := d.node[v].Load()
+		if st != nil {
+			st.Reads += 2
+		}
+		pu, ru := unpack(wu)
+		pv, rv := unpack(wv)
+		if pu != u || pv != v {
+			continue
+		}
+		// Link the (rank, index)-lexicographically smaller root under the
+		// larger. Rank monotonicity of live roots plus the fixed index
+		// order rules out mutual links, hence cycles.
+		child, parent, wc := u, v, wu
+		if rv < ru || (rv == ru && v < u) {
+			child, parent, wc = v, u, wv
+		}
+		if st != nil {
+			st.CASAttempts++
+		}
+		_, rc := unpack(wc)
+		if d.node[child].CompareAndSwap(wc, pack(parent, rc)) {
+			if st != nil {
+				st.Links++
+			}
+			if rc == max32(ru, rv) {
+				// Rank tie: bump the winner, best-effort. Failure means the
+				// winner was linked or bumped meanwhile; both are fine.
+				wp := pack(parent, rc)
+				if st != nil {
+					st.CASAttempts++
+				}
+				if !d.node[parent].CompareAndSwap(wp, pack(parent, rc+1)) && st != nil {
+					st.CASFailures++
+				}
+			}
+			return true
+		}
+		if st != nil {
+			st.CASFailures++
+		}
+	}
+}
+
+func max32(a, b uint32) uint32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Parent returns x's current parent (quiescent-state analysis use).
+func (d *DSU) Parent(x uint32) uint32 {
+	p, _ := unpack(d.node[x].Load())
+	return p
+}
+
+// Rank returns x's current stored rank (meaningful for roots).
+func (d *DSU) Rank(x uint32) uint32 {
+	_, r := unpack(d.node[x].Load())
+	return r
+}
+
+// CanonicalLabels returns the min-element labelling of the current
+// partition. Quiescent-state use only.
+func (d *DSU) CanonicalLabels() []uint32 {
+	n := len(d.node)
+	parent := make([]uint32, n)
+	for i := range parent {
+		parent[i] = d.Parent(uint32(i))
+	}
+	root := make([]uint32, n)
+	for i := range root {
+		x := uint32(i)
+		for parent[x] != x {
+			x = parent[x]
+		}
+		root[i] = x
+	}
+	minOf := make([]uint32, n)
+	for i := range minOf {
+		minOf[i] = ^uint32(0)
+	}
+	for i := 0; i < n; i++ {
+		if r := root[i]; uint32(i) < minOf[r] {
+			minOf[r] = uint32(i)
+		}
+	}
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = minOf[root[i]]
+	}
+	return labels
+}
+
+// Sets counts the current number of roots. Quiescent-state use only.
+func (d *DSU) Sets() int {
+	count := 0
+	for i := range d.node {
+		if p, _ := unpack(d.node[i].Load()); p == uint32(i) {
+			count++
+		}
+	}
+	return count
+}

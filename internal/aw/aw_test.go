@@ -1,0 +1,307 @@
+package aw
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/randutil"
+	"repro/internal/seqdsu"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	check := func(parent, rank uint32) bool {
+		p, r := unpack(pack(parent, rank))
+		return p == parent && r == rank
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialSemanticsMatchSpec(t *testing.T) {
+	const n, ops = 150, 500
+	rng := randutil.NewXoshiro256(11)
+	d := New(n)
+	s := seqdsu.NewSpec(n)
+	for i := 0; i < ops; i++ {
+		x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			if d.Unite(x, y) != s.Unite(x, y) {
+				t.Fatalf("Unite diverged at op %d", i)
+			}
+		} else if d.SameSet(x, y) != s.SameSet(x, y) {
+			t.Fatalf("SameSet diverged at op %d", i)
+		}
+	}
+	labels := d.CanonicalLabels()
+	for i, want := range s.Labels() {
+		if labels[i] != want {
+			t.Fatalf("partition differs at %d", i)
+		}
+	}
+}
+
+func TestConcurrentPartitionMatchesClosure(t *testing.T) {
+	const n, pairs, workers = 2000, 3000, 8
+	rng := randutil.NewXoshiro256(5)
+	xs, ys := make([]uint32, pairs), make([]uint32, pairs)
+	spec := seqdsu.New(n, seqdsu.LinkSize, seqdsu.CompactCompression, 0)
+	for i := range xs {
+		xs[i], ys[i] = uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		spec.Unite(xs[i], ys[i])
+	}
+	d := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pairs; i += workers {
+				d.Unite(xs[i], ys[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := spec.CanonicalLabels()
+	got := d.CanonicalLabels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition differs at element %d", i)
+		}
+	}
+}
+
+// TestNoCycles checks acyclicity at quiescence after heavy concurrent
+// uniting — the property the (rank, index) lexicographic tie-break protects.
+func TestNoCycles(t *testing.T) {
+	const n, workers = 1024, 12
+	d := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randutil.NewXoshiro256(uint64(w) * 13)
+			for i := 0; i < 5000; i++ {
+				d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for x := uint32(0); x < n; x++ {
+		// Walk up at most n steps; exceeding that means a cycle.
+		u := x
+		for steps := 0; ; steps++ {
+			p := d.Parent(u)
+			if p == u {
+				break
+			}
+			if steps > n {
+				t.Fatalf("cycle reachable from node %d", x)
+			}
+			u = p
+		}
+	}
+}
+
+// TestRankOrderInvariant: at quiescence a non-root's stored rank never
+// exceeds its parent's stored rank (ranks are non-decreasing upward, the
+// linking-by-rank invariant).
+func TestRankOrderInvariant(t *testing.T) {
+	const n, workers = 512, 8
+	d := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randutil.NewXoshiro256(uint64(w) + 3)
+			for i := 0; i < 3000; i++ {
+				d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for x := uint32(0); x < n; x++ {
+		p := d.Parent(x)
+		if p != x && d.Rank(x) > d.Rank(p) {
+			t.Fatalf("node %d rank %d above parent %d rank %d", x, d.Rank(x), p, d.Rank(p))
+		}
+	}
+}
+
+func TestRankBoundedByLogN(t *testing.T) {
+	// Sequential linking by rank guarantees rank ≤ ⌊lg n⌋; the concurrent
+	// best-effort bump can only lose bumps, never add spurious ones beyond
+	// one per performed link, so ranks stay ≤ ⌊lg n⌋ in sequential use.
+	const n = 1 << 10
+	d := New(n)
+	for gap := uint32(1); gap < n; gap *= 2 {
+		for i := uint32(0); i+gap < n; i += 2 * gap {
+			d.Unite(i, i+gap)
+		}
+	}
+	maxRank := uint32(0)
+	for x := uint32(0); x < n; x++ {
+		if r := d.Rank(x); r > maxRank {
+			maxRank = r
+		}
+	}
+	if maxRank > 10 {
+		t.Fatalf("max rank %d exceeds lg n = 10", maxRank)
+	}
+}
+
+func TestCountedStats(t *testing.T) {
+	const n = 128
+	d := New(n)
+	var st core.Stats
+	for i := uint32(0); i+1 < n; i++ {
+		d.UniteCounted(i, i+1, &st)
+	}
+	if st.Links != n-1 {
+		t.Errorf("Links = %d, want %d", st.Links, n-1)
+	}
+	if st.Ops != n-1 || st.Reads == 0 {
+		t.Errorf("implausible stats %+v", st)
+	}
+	if !d.SameSetCounted(0, n-1, &st) {
+		t.Error("chain ends not connected")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSplittingVariantMatchesSpec(t *testing.T) {
+	const n, ops = 150, 500
+	rng := randutil.NewXoshiro256(12)
+	d := NewSplitting(n)
+	s := seqdsu.NewSpec(n)
+	for i := 0; i < ops; i++ {
+		x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			if d.Unite(x, y) != s.Unite(x, y) {
+				t.Fatalf("Unite diverged at op %d", i)
+			}
+		} else if d.SameSet(x, y) != s.SameSet(x, y) {
+			t.Fatalf("SameSet diverged at op %d", i)
+		}
+	}
+	labels := d.CanonicalLabels()
+	for i, want := range s.Labels() {
+		if labels[i] != want {
+			t.Fatalf("partition differs at %d", i)
+		}
+	}
+}
+
+func TestSplittingVariantConcurrent(t *testing.T) {
+	const n, pairs, workers = 1500, 2500, 8
+	rng := randutil.NewXoshiro256(13)
+	xs, ys := make([]uint32, pairs), make([]uint32, pairs)
+	spec := seqdsu.New(n, seqdsu.LinkSize, seqdsu.CompactCompression, 0)
+	for i := range xs {
+		xs[i], ys[i] = uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		spec.Unite(xs[i], ys[i])
+	}
+	d := NewSplitting(n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pairs; i += workers {
+				d.Unite(xs[i], ys[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := spec.CanonicalLabels()
+	got := d.CanonicalLabels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition differs at element %d", i)
+		}
+	}
+	// Rank invariant holds for the splitting variant too.
+	for x := uint32(0); x < n; x++ {
+		p := d.Parent(x)
+		if p != x && d.Rank(x) > d.Rank(p) {
+			t.Fatalf("rank invariant violated at %d", x)
+		}
+	}
+}
+
+// --- Locked baseline ---
+
+func TestLockedMatchesSpec(t *testing.T) {
+	const n = 100
+	l := NewLocked(n)
+	s := seqdsu.NewSpec(n)
+	rng := randutil.NewXoshiro256(21)
+	for i := 0; i < 400; i++ {
+		x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			if l.Unite(x, y) != s.Unite(x, y) {
+				t.Fatalf("Unite diverged at op %d", i)
+			}
+		} else if l.SameSet(x, y) != s.SameSet(x, y) {
+			t.Fatalf("SameSet diverged at op %d", i)
+		}
+	}
+	labels := l.CanonicalLabels()
+	for i, want := range s.Labels() {
+		if labels[i] != want {
+			t.Fatalf("partition differs at %d", i)
+		}
+	}
+}
+
+func TestLockedConcurrentSafety(t *testing.T) {
+	const n, workers = 500, 8
+	l := NewLocked(n)
+	spec := seqdsu.New(n, seqdsu.LinkSize, seqdsu.CompactCompression, 0)
+	rng := randutil.NewXoshiro256(2)
+	const pairs = 2000
+	xs, ys := make([]uint32, pairs), make([]uint32, pairs)
+	for i := range xs {
+		xs[i], ys[i] = uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		spec.Unite(xs[i], ys[i])
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pairs; i += workers {
+				l.Unite(xs[i], ys[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := spec.CanonicalLabels()
+	got := l.CanonicalLabels()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partition differs at %d", i)
+		}
+	}
+	if l.Sets() != spec.Sets() {
+		t.Fatalf("Sets = %d, want %d", l.Sets(), spec.Sets())
+	}
+	if l.N() != n {
+		t.Fatalf("N = %d", l.N())
+	}
+	if l.Find(xs[0]) != l.Find(ys[0]) {
+		t.Fatal("united pair has different roots")
+	}
+}

@@ -1,0 +1,60 @@
+package aw
+
+import (
+	"sync"
+
+	"repro/internal/seqdsu"
+)
+
+// Locked wraps a sequential union-find behind one global mutex: the
+// lock-based baseline for the speedup experiments. Under contention every
+// operation serializes, which is exactly the behaviour the wait-free
+// algorithms are designed to beat.
+type Locked struct {
+	mu  sync.Mutex
+	dsu *seqdsu.DSU
+}
+
+// NewLocked returns a Locked structure over n elements using linking by
+// rank with halving, the sequential analogue of Anderson & Woll's method.
+func NewLocked(n int) *Locked {
+	return &Locked{dsu: seqdsu.New(n, seqdsu.LinkRank, seqdsu.CompactHalving, 0)}
+}
+
+// N returns the number of elements.
+func (l *Locked) N() int { return l.dsu.N() }
+
+// Find returns the root of x's tree.
+func (l *Locked) Find(x uint32) uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dsu.Find(x)
+}
+
+// SameSet reports whether x and y are in the same set.
+func (l *Locked) SameSet(x, y uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dsu.SameSet(x, y)
+}
+
+// Unite merges the sets of x and y, reporting whether a link was performed.
+func (l *Locked) Unite(x, y uint32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dsu.Unite(x, y)
+}
+
+// Sets returns the current number of sets.
+func (l *Locked) Sets() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dsu.Sets()
+}
+
+// CanonicalLabels returns the min-element labelling of the partition.
+func (l *Locked) CanonicalLabels() []uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dsu.CanonicalLabels()
+}

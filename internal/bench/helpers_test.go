@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aw"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestRunCoreCountsMatchWorkload(t *testing.T) {
+	const n, m, p = 64, 200, 4
+	ops := workload.Mixed(n, m, 0.5, 1)
+	d := core.New(n, core.Config{Seed: 1})
+	total, elapsed := runCore(d, workload.SplitRoundRobin(ops, p), true)
+	if total.Ops != int64(m) {
+		t.Fatalf("Ops = %d, want %d", total.Ops, m)
+	}
+	if total.Reads == 0 {
+		t.Fatal("no reads counted")
+	}
+	if elapsed <= 0 {
+		t.Fatal("non-positive elapsed time")
+	}
+	// Uncounted mode returns zero stats but still runs everything.
+	d2 := core.New(n, core.Config{Seed: 1})
+	total2, _ := runCore(d2, workload.SplitRoundRobin(ops, p), false)
+	if total2 != (core.Stats{}) {
+		t.Fatalf("uncounted run produced stats %+v", total2)
+	}
+	if got, want := d2.Sets(), d.Sets(); got != want {
+		t.Fatalf("uncounted run produced different partition: %d vs %d sets", got, want)
+	}
+}
+
+func TestRunAWCountedMatches(t *testing.T) {
+	const n, m = 64, 200
+	ops := workload.Mixed(n, m, 0.5, 2)
+	d := aw.New(n)
+	total := runAWCounted(d, workload.SplitRoundRobin(ops, 4))
+	if total.Ops != int64(m) || total.Reads == 0 {
+		t.Fatalf("implausible AW stats %+v", total)
+	}
+}
+
+func TestRunContenderDrivesAllOps(t *testing.T) {
+	const n = 32
+	ops := workload.RandomUnions(n, n-1, 3)
+	// Chain-free workload may not connect everything; use explicit chain.
+	ops = workload.Chain(n)
+	d := aw.NewLocked(n)
+	if elapsed := runContender(d, workload.SplitRoundRobin(ops, 3)); elapsed <= 0 {
+		t.Fatal("non-positive elapsed")
+	}
+	if d.Sets() != 1 {
+		t.Fatalf("contender run left %d sets", d.Sets())
+	}
+}
+
+func TestMops(t *testing.T) {
+	if got := mops(2_000_000, time.Second); got != 2 {
+		t.Fatalf("mops = %v, want 2", got)
+	}
+	if got := mops(100, 0); got != 0 {
+		t.Fatalf("mops with zero duration = %v, want 0", got)
+	}
+}
+
+func TestHeaderFormat(t *testing.T) {
+	var b testWriter
+	header(Config{Out: &b}, "E0", "Title Here", "Theorem 0")
+	s := string(b)
+	for _, want := range []string{"E0", "Title Here", "Theorem 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("header output %q missing %q", s, want)
+		}
+	}
+}
+
+type testWriter []byte
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}

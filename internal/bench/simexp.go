@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apram"
+	"repro/internal/core"
+	"repro/internal/linearize"
+	"repro/internal/randutil"
+	"repro/internal/sched"
+	"repro/internal/simdsu"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// runE7 validates Theorem 5.4's lower-bound workload on the simulator with
+// the lockstep scheduler the proof assumes: with n/δ prebuilt trees of
+// average depth Ω(log δ), p processes repeating SameSet(xᵢ, xᵢ) in lockstep
+// pay Ω(log δ) steps per operation.
+func runE7(cfg Config) error {
+	header(cfg, "E7", "Lower-bound workload forces Ω(m log(np/m)) work", "Theorem 5.4")
+	n := 1 << 10
+	if cfg.Quick {
+		n = 1 << 8
+	}
+	tb := stats.NewTable("delta", "p", "ops", "steps/op", "lg delta", "steps/(op·lg delta)")
+	for _, delta := range []int{4, 16, 64} {
+		for _, p := range []int{2, 4} {
+			w := workload.LowerBound(n, p, delta, cfg.Seed+17)
+			// No compaction: queries must re-pay the depth every time, the
+			// cleanest realization of the lower-bound scenario.
+			s := simdsu.New(n, core.Config{Find: core.FindNaive, Seed: cfg.Seed + 2})
+			res, err := simdsu.Run(s, w.PerProc, simdsu.Options{
+				Scheduler: sched.NewLockstep(),
+				Setup:     w.Setup,
+			})
+			if err != nil {
+				return err
+			}
+			ops := w.Ops()
+			perOp := float64(res.Total) / float64(ops)
+			lg := math.Log2(float64(delta))
+			tb.AddRowf(delta, p, ops, perOp, lg, perOp/lg)
+		}
+	}
+	fmt.Fprint(cfg.Out, tb)
+	fmt.Fprintf(cfg.Out, "\nsteps/op must grow with lg δ (δ = np/3m in the paper's notation): the last column stays in a constant band while steps/op rises.\n")
+	return nil
+}
+
+// runE8 re-runs the Section 3 construction at several sizes: two processes
+// doing halving in lockstep on a path leave the identical forest to one
+// process doing splitting, with the same number of pointer updates.
+func runE8(cfg Config) error {
+	header(cfg, "E8", "Lockstep halving simulates splitting", "Section 3 construction")
+	ks := []int{8, 32, 128, 512, 2048}
+	if cfg.Quick {
+		ks = ks[:4]
+	}
+	tb := stats.NewTable("path length k", "forests equal", "splitting CAS", "halving CAS (2 procs)")
+	for _, k := range ks {
+		order := make([]uint32, k)
+		for i := range order {
+			order[i] = uint32(i)
+		}
+		initPath := func(mem []uint64) {
+			for i := 0; i < k-1; i++ {
+				mem[i] = uint64(i + 1)
+			}
+			mem[k-1] = uint64(k - 1)
+		}
+		countCAS := func(m *apram.Machine) *int64 {
+			var count int64
+			m.SetObserver(func(st apram.Step) {
+				if st.Kind == apram.OpCAS && st.OK && st.Before != st.After {
+					count++
+				}
+			})
+			return &count
+		}
+
+		split := simdsu.NewWithOrder(core.Config{Find: core.FindOneTry}, order)
+		m1 := apram.NewMachine(k, sched.NewRoundRobin(), int64(100*k))
+		initPath(m1.Mem())
+		c1 := countCAS(m1)
+		m1.AddProgram(func(p *apram.P) { split.Find(p, 0) })
+		m1.Run()
+
+		halve := simdsu.NewWithOrder(core.Config{Find: core.FindHalving}, order)
+		m2 := apram.NewMachine(k, sched.NewLockstep(), int64(100*k))
+		initPath(m2.Mem())
+		c2 := countCAS(m2)
+		m2.AddProgram(func(p *apram.P) { halve.Find(p, 0) })
+		m2.AddProgram(func(p *apram.P) { halve.Find(p, 1) })
+		m2.Run()
+
+		equal := true
+		for i := 0; i < k; i++ {
+			if m1.Mem()[i] != m2.Mem()[i] {
+				equal = false
+				break
+			}
+		}
+		tb.AddRowf(k, equal, *c1, *c2)
+		if !equal {
+			fmt.Fprint(cfg.Out, tb)
+			return fmt.Errorf("bench: E8 forests differ at k=%d", k)
+		}
+	}
+	fmt.Fprint(cfg.Out, tb)
+	fmt.Fprintf(cfg.Out, "\nSection 3: two halvers in lockstep perform exactly the splitting forest, so halving cannot beat splitting concurrently.\n")
+	return nil
+}
+
+// runE13 is the linearizability sweep: random small histories across every
+// variant and scheduler seed, checked exhaustively (Lemma 3.2).
+func runE13(cfg Config) error {
+	header(cfg, "E13", "Linearizability under random schedules", "Lemma 3.2 / Theorem 3.4")
+	seeds := 200
+	if cfg.Quick {
+		seeds = 40
+	}
+	const n, procs, opsEach = 8, 3, 4
+	variants := []core.Config{
+		{Find: core.FindNaive}, {Find: core.FindOneTry}, {Find: core.FindTwoTry},
+		{Find: core.FindHalving}, {Find: core.FindCompress},
+		{Find: core.FindNaive, EarlyTermination: true},
+		{Find: core.FindOneTry, EarlyTermination: true},
+		{Find: core.FindTwoTry, EarlyTermination: true},
+	}
+	tb := stats.NewTable("variant", "histories", "ops/history", "violations")
+	for _, vc := range variants {
+		vc.Seed = cfg.Seed + 5
+		violations := 0
+		for seed := uint64(0); seed < uint64(seeds); seed++ {
+			rng := randutil.NewXoshiro256(seed*77 + cfg.Seed)
+			perProc := make([][]workload.Op, procs)
+			for i := range perProc {
+				perProc[i] = workload.Mixed(n, opsEach, 0.6, rng.Next())
+			}
+			res, err := simdsu.Run(simdsu.New(n, vc), perProc, simdsu.Options{
+				Scheduler:       sched.NewRandom(seed),
+				Record:          true,
+				CheckInvariants: true,
+			})
+			if err != nil {
+				return fmt.Errorf("bench: E13 invariant failure: %w", err)
+			}
+			if _, err := linearize.Check(n, res.History); err != nil {
+				violations++
+			}
+		}
+		name := vc.Find.String()
+		if vc.EarlyTermination {
+			name += "+early"
+		}
+		tb.AddRowf(name, seeds, procs*opsEach, violations)
+		if violations > 0 {
+			fmt.Fprint(cfg.Out, tb)
+			return fmt.Errorf("bench: E13 found %d linearizability violations in %s", violations, name)
+		}
+	}
+	fmt.Fprint(cfg.Out, tb)
+	fmt.Fprintf(cfg.Out, "\nEvery history of every variant linearizes (Theorem 3.4).\n")
+	return nil
+}
+
+// runE14 checks the Lemma 3.1 invariants on every shared-memory step of
+// larger runs under fair, adversarial, and skewed schedulers.
+func runE14(cfg Config) error {
+	header(cfg, "E14", "Per-step structural invariants under adversarial schedules", "Lemma 3.1")
+	n := 256
+	m := 2048
+	if cfg.Quick {
+		n, m = 128, 512
+	}
+	const p = 8
+	scheds := map[string]func() apram.Scheduler{
+		"roundrobin": func() apram.Scheduler { return sched.NewRoundRobin() },
+		"random":     func() apram.Scheduler { return sched.NewRandom(cfg.Seed + 1) },
+		"lockstep":   func() apram.Scheduler { return sched.NewLockstep() },
+		"stall(0,1)": func() apram.Scheduler { return sched.NewStall(sched.NewRandom(cfg.Seed+2), 0, 1) },
+		"weighted":   func() apram.Scheduler { return sched.NewWeighted(cfg.Seed+3, []float64{100, 10, 1, 0.1}) },
+	}
+	tb := stats.NewTable("scheduler", "variant", "steps", "violations")
+	for _, find := range []core.Find{core.FindOneTry, core.FindTwoTry, core.FindHalving} {
+		for name, mk := range scheds {
+			ops := workload.Mixed(n, m, 0.6, cfg.Seed+8)
+			res, err := simdsu.Run(simdsu.New(n, core.Config{Find: find, Seed: cfg.Seed + 4}),
+				workload.SplitRoundRobin(ops, p),
+				simdsu.Options{Scheduler: mk(), CheckInvariants: true})
+			if err != nil {
+				fmt.Fprint(cfg.Out, tb)
+				return fmt.Errorf("bench: E14 %s/%s: %w", name, find, err)
+			}
+			tb.AddRowf(name, find.String(), res.Total, 0)
+		}
+	}
+	fmt.Fprint(cfg.Out, tb)
+	fmt.Fprintf(cfg.Out, "\nZero violations: every link respects the id order and every compaction moves a parent to a proper union-forest ancestor.\n")
+	return nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/randutil"
+)
+
+// TestCompressFlattensPath: after a quiescent findCompress, every node that
+// was on the find path points directly at the root.
+func TestCompressFlattensPath(t *testing.T) {
+	const n = 64
+	d := New(n, Config{Find: FindCompress, Seed: 9})
+	// Build a deliberately deep structure using a naive-find twin sharing
+	// the same seed (hence the same id order), then copy its forest in.
+	builder := New(n, Config{Find: FindNaive, Seed: 9})
+	rng := randutil.NewXoshiro256(3)
+	for i := 0; i < 4*n; i++ {
+		builder.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	snap := builder.Snapshot()
+	for x := uint32(0); x < n; x++ {
+		d.LoadParent(x, snap[x])
+	}
+	// Deepest node and its path.
+	deep, path := uint32(0), []uint32(nil)
+	bestDepth := -1
+	for x := uint32(0); x < n; x++ {
+		var p []uint32
+		for u := x; snap[u] != u; u = snap[u] {
+			p = append(p, u)
+		}
+		if len(p) > bestDepth {
+			deep, path, bestDepth = x, p, len(p)
+		}
+	}
+	if bestDepth < 3 {
+		t.Skipf("forest too shallow (depth %d)", bestDepth)
+	}
+	root := d.Find(deep)
+	for _, u := range path {
+		if got := d.Parent(u); got != root {
+			t.Fatalf("path node %d points at %d, want root %d", u, got, root)
+		}
+	}
+}
+
+// TestHalvingHalvesPath: one quiescent halving find from the deepest node
+// of a pure path must leave ~half the path nodes re-pointed and return the
+// root.
+func TestHalvingHalvesPath(t *testing.T) {
+	const k = 64
+	// A pure path needs ids increasing along it; build with LoadParent on a
+	// structure whose random order we then read back to order the path.
+	d := New(k, Config{Find: FindHalving, Seed: 4})
+	// order[i] = element with i-th smallest id.
+	order := make([]uint32, k)
+	for x := uint32(0); x < k; x++ {
+		order[d.ID(x)] = x
+	}
+	for i := 0; i+1 < k; i++ {
+		d.LoadParent(order[i], order[i+1])
+	}
+	var st Stats
+	root := d.FindCounted(order[0], &st)
+	if root != order[k-1] {
+		t.Fatalf("root = %d, want %d", root, order[k-1])
+	}
+	// Halving from the bottom of a k-path rewrites every visited node's
+	// parent: k/2 − O(1) CAS successes.
+	wantMin := int64(k/2 - 2)
+	if st.CASAttempts-st.CASFailures < wantMin {
+		t.Fatalf("only %d successful CAS on a %d-path, want ≥ %d",
+			st.CASAttempts-st.CASFailures, k, wantMin)
+	}
+	// Each pass halves the remaining path: the second find visits at most
+	// half (plus rounding) of what the first did.
+	var st2 Stats
+	d.FindCounted(order[0], &st2)
+	if st2.FindSteps > st.FindSteps/2+2 {
+		t.Fatalf("halving did not halve the path: %d then %d steps", st.FindSteps, st2.FindSteps)
+	}
+}
+
+// buildPath points order[i] at order[i+1] in a fresh structure with the
+// given find strategy and returns (d, order) where order[i] is the element
+// with the i-th smallest id.
+func buildPath(k int, find Find) (*DSU, []uint32) {
+	d := New(k, Config{Find: find, Seed: 4})
+	order := make([]uint32, k)
+	for x := uint32(0); int(x) < k; x++ {
+		order[d.ID(x)] = x
+	}
+	for i := 0; i+1 < k; i++ {
+		d.LoadParent(order[i], order[i+1])
+	}
+	return d, order
+}
+
+// TestOneTrySplitsExactly: a sequential one-try find from the bottom of a
+// k-path performs classical splitting — every path node's parent becomes
+// its grandparent — pinning the Algorithm 4 semantics exactly (this is the
+// structure the Section 3 lockstep-halving construction reproduces).
+func TestOneTrySplitsExactly(t *testing.T) {
+	const k = 64
+	d, order := buildPath(k, FindOneTry)
+	var st Stats
+	if root := d.FindCounted(order[0], &st); root != order[k-1] {
+		t.Fatalf("root = %d, want %d", root, order[k-1])
+	}
+	for i := 0; i < k; i++ {
+		want := i + 2
+		if want > k-1 {
+			want = k - 1
+		}
+		if got := d.Parent(order[i]); got != order[want] {
+			t.Fatalf("path node %d parent at position %d, want %d", i, d.ID(got), want)
+		}
+	}
+	if succ := st.CASAttempts - st.CASFailures; succ != k-2 {
+		t.Fatalf("%d successful CAS, want %d", succ, k-2)
+	}
+}
+
+// TestTwoTryCompactsTwicePerVisit: Algorithm 5's second try re-reads the
+// freshly updated parent and compacts again, so a sequential find from the
+// bottom of a k-path visits about every other node but still performs ~k
+// pointer updates, ending on the root.
+func TestTwoTryCompactsTwicePerVisit(t *testing.T) {
+	const k = 64
+	d, order := buildPath(k, FindTwoTry)
+	var st Stats
+	if root := d.FindCounted(order[0], &st); root != order[k-1] {
+		t.Fatalf("root = %d, want %d", root, order[k-1])
+	}
+	if st.FindSteps > k/2+2 {
+		t.Fatalf("two-try visited %d nodes on a %d-path, want ≈ k/2", st.FindSteps, k)
+	}
+	succ := st.CASAttempts - st.CASFailures
+	if succ < int64(k)-4 || succ > int64(k) {
+		t.Fatalf("%d successful CAS on a %d-path, want ≈ k", succ, k)
+	}
+	// All pointers moved strictly upward in the order.
+	for i := 0; i < k-1; i++ {
+		p := d.Parent(order[i])
+		if d.ID(p) <= uint32(i) {
+			t.Fatalf("node at position %d points down/self to position %d", i, d.ID(p))
+		}
+	}
+}

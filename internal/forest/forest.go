@@ -1,0 +1,178 @@
+// Package forest analyzes parent-pointer forests: depths, heights, rank
+// distributions, and structural invariants. The Section 4 experiments
+// (union-forest height, rank dominance) and the lower-bound constructions
+// of Section 5 all reduce to questions about these forests.
+//
+// Analyses operate on plain []uint32 parent snapshots taken at quiescence.
+// For the union forest — the forest formed by links alone, ignoring
+// compaction (Section 3) — run the algorithms with FindNaive, whose finds
+// never modify parents, making the live forest and the union forest
+// identical.
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/ackermann"
+)
+
+// Depths returns the depth of every node (roots have depth 0). It runs in
+// O(n) via path memoization and panics if the forest contains a cycle or an
+// out-of-range parent.
+func Depths(parent []uint32) []int {
+	n := len(parent)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	stack := make([]uint32, 0, 64)
+	for i := 0; i < n; i++ {
+		x := uint32(i)
+		stack = stack[:0]
+		for depth[x] == -1 {
+			p := parent[x]
+			if int(p) >= n {
+				panic(fmt.Sprintf("forest: parent %d of node %d out of range", p, x))
+			}
+			if p == x {
+				depth[x] = 0
+				break
+			}
+			if len(stack) > n {
+				panic("forest: cycle detected")
+			}
+			stack = append(stack, x)
+			x = p
+		}
+		for j := len(stack) - 1; j >= 0; j-- {
+			depth[stack[j]] = depth[parent[stack[j]]] + 1
+		}
+	}
+	return depth
+}
+
+// Height returns the maximum node depth; 0 for an empty forest.
+func Height(parent []uint32) int {
+	max := 0
+	for _, d := range Depths(parent) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AvgDepth returns the mean node depth; 0 for an empty forest.
+func AvgDepth(parent []uint32) float64 {
+	if len(parent) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, d := range Depths(parent) {
+		sum += d
+	}
+	return float64(sum) / float64(len(parent))
+}
+
+// Validate checks the structural invariants of Lemma 3.1 on a snapshot:
+// every parent pointer is in range, the forest is acyclic, and if id is
+// non-nil every non-root's id is strictly below its parent's id. It returns
+// the first violation found, or nil.
+func Validate(parent, id []uint32) error {
+	n := len(parent)
+	if id != nil && len(id) != n {
+		return fmt.Errorf("forest: id length %d != parent length %d", len(id), n)
+	}
+	for x := 0; x < n; x++ {
+		p := parent[x]
+		if int(p) >= n {
+			return fmt.Errorf("forest: node %d has out-of-range parent %d", x, p)
+		}
+		if id != nil && p != uint32(x) && id[x] >= id[p] {
+			return fmt.Errorf("forest: node %d (id %d) not below parent %d (id %d)", x, id[x], p, id[p])
+		}
+	}
+	// Depths panics on cycles; translate to an error.
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("forest: %v", r)
+			}
+		}()
+		Depths(parent)
+		return nil
+	}()
+	return err
+}
+
+// RankReport summarizes the rank structure of a union forest under the
+// paper's Section 4 rank definition (rank derived from position in the
+// random order).
+type RankReport struct {
+	// GoodAncestorFraction is the empirical probability that a proper
+	// ancestor out-ranks the node, over all (node, proper ancestor) pairs;
+	// Lemma 4.1 bounds its expectation below by 1/2.
+	GoodAncestorFraction float64
+	// MeanSameRankAncestors is the mean number of proper ancestors sharing
+	// the node's rank; Corollary 4.1.1 bounds its expectation by 2.
+	MeanSameRankAncestors float64
+	// MaxRank is the largest rank observed (≤ ⌊lg n⌋ by construction).
+	MaxRank int
+	// Pairs is the number of (node, proper ancestor) pairs inspected.
+	Pairs int64
+}
+
+// Ranks computes the Section 4 rank of every node: rank(x) = ⌊lg n⌋ −
+// ⌊lg(n − id(x))⌋ with ids zero-based.
+func Ranks(id []uint32) []int {
+	n := len(id)
+	ranks := make([]int, n)
+	for x := range ranks {
+		ranks[x] = ackermann.Rank(id[x], n)
+	}
+	return ranks
+}
+
+// AnalyzeRanks walks every node's ancestor chain in the given union forest
+// and reports the Lemma 4.1 / Corollary 4.1.1 statistics.
+func AnalyzeRanks(parent, id []uint32) RankReport {
+	ranks := Ranks(id)
+	var rpt RankReport
+	var good, same int64
+	for x := range parent {
+		r := ranks[x]
+		if r > rpt.MaxRank {
+			rpt.MaxRank = r
+		}
+		for u := uint32(x); parent[u] != u; {
+			u = parent[u]
+			rpt.Pairs++
+			switch {
+			case ranks[u] > r:
+				good++
+			case ranks[u] == r:
+				same++
+			}
+		}
+	}
+	if rpt.Pairs > 0 {
+		rpt.GoodAncestorFraction = float64(good) / float64(rpt.Pairs)
+	}
+	if len(parent) > 0 {
+		rpt.MeanSameRankAncestors = float64(same) / float64(len(parent))
+	}
+	return rpt
+}
+
+// SetSizes returns the size of each set keyed by root.
+func SetSizes(parent []uint32) map[uint32]int {
+	sizes := make(map[uint32]int)
+	for x := range parent {
+		u := uint32(x)
+		for parent[u] != u {
+			u = parent[u]
+		}
+		sizes[u]++
+	}
+	return sizes
+}

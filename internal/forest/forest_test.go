@@ -1,0 +1,188 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randutil"
+	"repro/internal/seqdsu"
+)
+
+func TestDepthsSimple(t *testing.T) {
+	// 1→0, 2→1, 3→3, 4→3.
+	parent := []uint32{0, 0, 1, 3, 3}
+	want := []int{0, 1, 2, 0, 1}
+	got := Depths(parent)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("depth[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h := Height(parent); h != 2 {
+		t.Errorf("Height = %d, want 2", h)
+	}
+	if avg := AvgDepth(parent); math.Abs(avg-0.8) > 1e-12 {
+		t.Errorf("AvgDepth = %v, want 0.8", avg)
+	}
+}
+
+func TestDepthsLongChainNoStackOverflow(t *testing.T) {
+	const n = 1 << 20
+	parent := make([]uint32, n)
+	for i := 1; i < n; i++ {
+		parent[i] = uint32(i - 1)
+	}
+	d := Depths(parent)
+	if d[n-1] != n-1 {
+		t.Fatalf("deepest depth = %d, want %d", d[n-1], n-1)
+	}
+}
+
+func TestDepthsPanicsOnCycle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on 2-cycle")
+		}
+	}()
+	Depths([]uint32{1, 0})
+}
+
+func TestDepthsPanicsOnOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range parent")
+		}
+	}()
+	Depths([]uint32{5})
+}
+
+func TestEmptyForest(t *testing.T) {
+	if Height(nil) != 0 || AvgDepth(nil) != 0 {
+		t.Fatal("empty forest should have zero height and depth")
+	}
+	if err := Validate(nil, nil); err != nil {
+		t.Fatalf("Validate(empty) = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok := []uint32{0, 0, 1}
+	id := []uint32{2, 1, 0} // ids decrease toward leaves: 2>1>0 upward ✓
+	if err := Validate(ok, id); err != nil {
+		t.Errorf("valid forest rejected: %v", err)
+	}
+	if err := Validate([]uint32{3}, nil); err == nil {
+		t.Error("out-of-range parent accepted")
+	}
+	if err := Validate([]uint32{1, 0}, nil); err == nil {
+		t.Error("cycle accepted")
+	}
+	badID := []uint32{0, 1, 2} // node 1 id 1 under node 0 id 0: violation
+	if err := Validate(ok, badID); err == nil {
+		t.Error("id-order violation accepted")
+	}
+	if err := Validate(ok, []uint32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestSetSizes(t *testing.T) {
+	parent := []uint32{0, 0, 1, 3, 3, 5}
+	sizes := SetSizes(parent)
+	if sizes[0] != 3 || sizes[3] != 2 || sizes[5] != 1 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	if len(sizes) != 3 {
+		t.Errorf("expected 3 sets, got %d", len(sizes))
+	}
+}
+
+func TestRanksMatchDefinition(t *testing.T) {
+	// Identity order on 8 elements: ranks from the paper's formula.
+	id := []uint32{0, 1, 2, 3, 4, 5, 6, 7}
+	ranks := Ranks(id)
+	want := []int{0, 1, 1, 1, 1, 2, 2, 3}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], want[i])
+		}
+	}
+}
+
+// TestAnalyzeRanksOnRandomizedForest builds genuine union forests with
+// randomized linking (no compaction, so live forest == union forest) and
+// checks the Lemma 4.1 / Corollary 4.1.1 statistics with slack.
+func TestAnalyzeRanksOnRandomizedForest(t *testing.T) {
+	const n = 1 << 12
+	var fracSum, sameSum float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		d := seqdsu.New(n, seqdsu.LinkRandom, seqdsu.CompactNone, uint64(trial)+1)
+		rng := randutil.NewXoshiro256(uint64(trial) * 7)
+		for i := 0; i < 4*n; i++ {
+			d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		parent := make([]uint32, n)
+		id := make([]uint32, n)
+		for x := uint32(0); x < n; x++ {
+			parent[x] = d.Parent(x)
+			id[x] = d.ID(x)
+		}
+		rpt := AnalyzeRanks(parent, id)
+		if rpt.Pairs == 0 {
+			t.Fatal("no ancestor pairs analyzed")
+		}
+		fracSum += rpt.GoodAncestorFraction
+		sameSum += rpt.MeanSameRankAncestors
+		if rpt.MaxRank > 12 {
+			t.Errorf("MaxRank %d exceeds lg n", rpt.MaxRank)
+		}
+	}
+	if avg := fracSum / trials; avg < 0.5 {
+		t.Errorf("good-ancestor fraction %.3f below the Lemma 4.1 bound 1/2", avg)
+	}
+	if avg := sameSum / trials; avg > 2.0 {
+		t.Errorf("mean same-rank ancestors %.3f above the Corollary 4.1.1 bound 2", avg)
+	}
+}
+
+// TestUnionForestHeightLogarithmic is a direct check of Corollary 4.2.1's
+// shape: height grows like c·lg n with modest c.
+func TestUnionForestHeightLogarithmic(t *testing.T) {
+	for _, n := range []int{1 << 10, 1 << 14} {
+		d := seqdsu.New(n, seqdsu.LinkRandom, seqdsu.CompactNone, uint64(n))
+		rng := randutil.NewXoshiro256(uint64(n) + 1)
+		for i := 0; i < 4*n; i++ {
+			d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		parent := make([]uint32, n)
+		for x := uint32(0); x < uint32(n); x++ {
+			parent[x] = d.Parent(x)
+		}
+		h := Height(parent)
+		lg := math.Log2(float64(n))
+		if float64(h) > 4*lg {
+			t.Errorf("n=%d: height %d exceeds 4·lg n = %.0f", n, h, 4*lg)
+		}
+		if h < 2 {
+			t.Errorf("n=%d: implausibly flat union forest (height %d)", n, h)
+		}
+	}
+}
+
+func BenchmarkDepths(b *testing.B) {
+	const n = 1 << 16
+	rng := randutil.NewXoshiro256(1)
+	d := seqdsu.New(n, seqdsu.LinkRandom, seqdsu.CompactNone, 3)
+	for i := 0; i < 4*n; i++ {
+		d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	parent := make([]uint32, n)
+	for x := uint32(0); x < n; x++ {
+		parent[x] = d.Parent(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Depths(parent)
+	}
+}

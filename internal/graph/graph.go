@@ -1,0 +1,205 @@
+// Package graph is the application substrate for the paper's motivating
+// workloads (Section 1): incremental connected components, minimum spanning
+// forests, percolation, and strongly connected components. It provides edge
+// generators (Erdős–Rényi, grid, RMAT-style power-law), a CSR adjacency
+// form, and exact reference algorithms (BFS components, Kruskal) that the
+// concurrent examples validate against.
+//
+// All generators are deterministic in their seed.
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/randutil"
+	"repro/internal/seqdsu"
+)
+
+// Edge is an undirected (or directed, per use) pair of endpoints.
+type Edge struct {
+	U, V uint32
+}
+
+// WeightedEdge is an Edge with a weight, for spanning-forest workloads.
+type WeightedEdge struct {
+	U, V uint32
+	W    float64
+}
+
+// ErdosRenyi returns m uniformly random edges over n vertices (the G(n, m)
+// multigraph flavour: duplicates and self-loops possible, harmless for
+// connectivity workloads and cheaper to generate at scale).
+func ErdosRenyi(n, m int, seed uint64) []Edge {
+	if n <= 0 || m < 0 {
+		panic("graph: bad ErdosRenyi size")
+	}
+	rng := randutil.NewXoshiro256(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+// Grid returns the bond edges of a rows×cols lattice: each vertex connects
+// to its right and down neighbours. Vertex (r, c) has index r·cols + c.
+func Grid(rows, cols int) []Edge {
+	if rows <= 0 || cols <= 0 {
+		panic("graph: bad Grid size")
+	}
+	edges := make([]Edge, 0, 2*rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := uint32(r*cols + c)
+			if c+1 < cols {
+				edges = append(edges, Edge{v, v + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, Edge{v, v + uint32(cols)})
+			}
+		}
+	}
+	return edges
+}
+
+// RMAT returns m edges over 2^scale vertices drawn from the recursive
+// matrix (R-MAT) distribution with the standard (0.57, 0.19, 0.19, 0.05)
+// partition probabilities, yielding a skewed, power-law-ish degree
+// distribution like the implicit graphs of the model-checking motivation.
+func RMAT(scale, m int, seed uint64) []Edge {
+	if scale <= 0 || scale > 30 || m < 0 {
+		panic("graph: bad RMAT size")
+	}
+	const a, b, c = 0.57, 0.19, 0.19
+	rng := randutil.NewXoshiro256(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		var u, v uint32
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: no bits set
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		edges[i] = Edge{u, v}
+	}
+	return edges
+}
+
+// RandomWeights assigns deterministic pseudorandom weights in [0, 1) to
+// edges, for spanning-forest workloads. Weights are distinct with
+// probability 1 − O(m²/2⁵³), enough for a unique MSF in practice.
+func RandomWeights(edges []Edge, seed uint64) []WeightedEdge {
+	rng := randutil.NewXoshiro256(seed)
+	out := make([]WeightedEdge, len(edges))
+	for i, e := range edges {
+		out[i] = WeightedEdge{U: e.U, V: e.V, W: rng.Float64()}
+	}
+	return out
+}
+
+// Adjacency is a compressed-sparse-row adjacency structure.
+type Adjacency struct {
+	Off []int32  // Off[v]..Off[v+1] indexes Dst; length n+1
+	Dst []uint32 // concatenated neighbour lists
+}
+
+// Build constructs CSR adjacency over n vertices. With directed false each
+// edge appears in both endpoint lists; self-loops appear once (or twice if
+// undirected). It panics on endpoints outside 0..n−1.
+func Build(n int, edges []Edge, directed bool) *Adjacency {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			panic("graph: edge endpoint out of range")
+		}
+		deg[e.U+1]++
+		if !directed {
+			deg[e.V+1]++
+		}
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	off := deg
+	dst := make([]uint32, off[n])
+	cursor := make([]int32, n)
+	for _, e := range edges {
+		dst[off[e.U]+cursor[e.U]] = e.V
+		cursor[e.U]++
+		if !directed {
+			dst[off[e.V]+cursor[e.V]] = e.U
+			cursor[e.V]++
+		}
+	}
+	return &Adjacency{Off: off, Dst: dst}
+}
+
+// Neighbors returns v's adjacency list (shared backing; do not mutate).
+func (a *Adjacency) Neighbors(v uint32) []uint32 {
+	return a.Dst[a.Off[v]:a.Off[v+1]]
+}
+
+// N returns the vertex count.
+func (a *Adjacency) N() int { return len(a.Off) - 1 }
+
+// RefComponents returns the exact min-label connected components of the
+// undirected graph by BFS — the oracle the concurrent examples check
+// against.
+func RefComponents(n int, edges []Edge) []uint32 {
+	adj := Build(n, edges, false)
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = ^uint32(0)
+	}
+	queue := make([]uint32, 0, n)
+	for start := 0; start < n; start++ {
+		if labels[start] != ^uint32(0) {
+			continue
+		}
+		lbl := uint32(start)
+		labels[start] = lbl
+		queue = append(queue[:0], uint32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range adj.Neighbors(v) {
+				if labels[w] == ^uint32(0) {
+					labels[w] = lbl
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	return labels
+}
+
+// KruskalRef computes the exact minimum-spanning-forest weight with the
+// classical sequential Kruskal algorithm; the Borůvka example validates
+// against it. Edge slices are not mutated.
+func KruskalRef(n int, edges []WeightedEdge) (totalWeight float64, treeEdges int) {
+	sorted := append([]WeightedEdge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
+	d := seqdsu.New(n, seqdsu.LinkRank, seqdsu.CompactHalving, 0)
+	for _, e := range sorted {
+		if e.U == e.V {
+			continue
+		}
+		if d.Unite(e.U, e.V) {
+			totalWeight += e.W
+			treeEdges++
+		}
+	}
+	return totalWeight, treeEdges
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seqdsu"
+)
+
+func TestErdosRenyiBoundsAndDeterminism(t *testing.T) {
+	a := ErdosRenyi(100, 500, 9)
+	b := ErdosRenyi(100, 500, 9)
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different edges")
+		}
+		if a[i].U >= 100 || a[i].V >= 100 {
+			t.Fatalf("edge %v out of range", a[i])
+		}
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	edges := Grid(3, 4)
+	// 3×4 grid: horizontal edges 3·3=9, vertical 2·4=8.
+	if len(edges) != 17 {
+		t.Fatalf("edge count = %d, want 17", len(edges))
+	}
+	adj := Build(12, edges, false)
+	// Corner (0,0) has 2 neighbours; interior (1,1) = vertex 5 has 4.
+	if len(adj.Neighbors(0)) != 2 {
+		t.Errorf("corner degree = %d, want 2", len(adj.Neighbors(0)))
+	}
+	if len(adj.Neighbors(5)) != 4 {
+		t.Errorf("interior degree = %d, want 4", len(adj.Neighbors(5)))
+	}
+	// Full grid is connected.
+	labels := RefComponents(12, edges)
+	for v, l := range labels {
+		if l != 0 {
+			t.Fatalf("vertex %d label %d, want 0", v, l)
+		}
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	edges := RMAT(10, 20000, 3)
+	n := 1 << 10
+	deg := make([]int, n)
+	for _, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n {
+			t.Fatalf("edge %v out of range", e)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	// Power-law-ish: the max degree should far exceed the mean.
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(n)
+	if float64(maxDeg) < 4*mean {
+		t.Errorf("max degree %d not skewed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestBuildDirectedVsUndirected(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}}
+	und := Build(3, edges, false)
+	dir := Build(3, edges, true)
+	if len(und.Dst) != 4 || len(dir.Dst) != 2 {
+		t.Fatalf("dst lengths: und %d, dir %d", len(und.Dst), len(dir.Dst))
+	}
+	if got := und.Neighbors(1); len(got) != 2 {
+		t.Errorf("undirected neighbours of 1: %v", got)
+	}
+	if got := dir.Neighbors(1); len(got) != 1 || got[0] != 2 {
+		t.Errorf("directed neighbours of 1: %v", got)
+	}
+	if und.N() != 3 {
+		t.Errorf("N = %d", und.N())
+	}
+}
+
+func TestBuildPanicsOnBadEndpoint(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Build(2, []Edge{{0, 5}}, false)
+}
+
+func TestRefComponentsMatchesDSU(t *testing.T) {
+	const n = 300
+	edges := ErdosRenyi(n, 350, 4)
+	ref := RefComponents(n, edges)
+	d := seqdsu.New(n, seqdsu.LinkSize, seqdsu.CompactCompression, 0)
+	for _, e := range edges {
+		d.Unite(e.U, e.V)
+	}
+	labels := d.CanonicalLabels()
+	for v := range labels {
+		if labels[v] != ref[v] {
+			t.Fatalf("vertex %d: DSU label %d, BFS label %d", v, labels[v], ref[v])
+		}
+	}
+}
+
+func TestRefComponentsDisconnected(t *testing.T) {
+	labels := RefComponents(4, []Edge{{0, 1}})
+	want := []uint32{0, 0, 2, 3}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Errorf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestRandomWeightsDeterministic(t *testing.T) {
+	edges := ErdosRenyi(10, 20, 1)
+	a := RandomWeights(edges, 5)
+	b := RandomWeights(edges, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different weights")
+		}
+		if a[i].W < 0 || a[i].W >= 1 {
+			t.Fatalf("weight %v out of [0,1)", a[i].W)
+		}
+	}
+}
+
+func TestKruskalRefOnKnownGraph(t *testing.T) {
+	// Triangle 0-1 (w=1), 1-2 (w=2), 0-2 (w=10): MST weight 3, 2 edges.
+	edges := []WeightedEdge{{0, 1, 1}, {1, 2, 2}, {0, 2, 10}}
+	w, k := KruskalRef(3, edges)
+	if math.Abs(w-3) > 1e-12 || k != 2 {
+		t.Fatalf("MST = (%v, %d), want (3, 2)", w, k)
+	}
+}
+
+func TestKruskalRefForest(t *testing.T) {
+	// Two disconnected pairs: forest has 2 edges.
+	edges := []WeightedEdge{{0, 1, 0.5}, {2, 3, 0.25}}
+	w, k := KruskalRef(4, edges)
+	if math.Abs(w-0.75) > 1e-12 || k != 2 {
+		t.Fatalf("MSF = (%v, %d), want (0.75, 2)", w, k)
+	}
+}
+
+func TestKruskalSkipsSelfLoops(t *testing.T) {
+	edges := []WeightedEdge{{0, 0, 0.1}, {0, 1, 0.9}}
+	w, k := KruskalRef(2, edges)
+	if k != 1 || math.Abs(w-0.9) > 1e-12 {
+		t.Fatalf("MST = (%v, %d), want (0.9, 1)", w, k)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { ErdosRenyi(0, 1, 1) },
+		func() { Grid(0, 5) },
+		func() { RMAT(0, 5, 1) },
+		func() { RMAT(31, 5, 1) },
+		func() { Build(-1, nil, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(8, 500, 7)
+	b := RMAT(8, 500, 7)
+	c := RMAT(8, 500, 8)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different RMAT edges")
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical RMAT graphs")
+	}
+}
+
+func TestGridSingleCell(t *testing.T) {
+	if edges := Grid(1, 1); len(edges) != 0 {
+		t.Fatalf("1×1 grid has %d edges, want 0", len(edges))
+	}
+	edges := Grid(1, 5) // a single row: 4 horizontal bonds
+	if len(edges) != 4 {
+		t.Fatalf("1×5 grid has %d edges, want 4", len(edges))
+	}
+}

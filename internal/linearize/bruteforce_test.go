@@ -1,0 +1,174 @@
+package linearize
+
+import (
+	"testing"
+
+	"repro/internal/randutil"
+	"repro/internal/seqdsu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// bruteForce decides linearizability by trying every permutation of the
+// history — exponential, usable only for tiny histories, and therefore an
+// independent oracle for the memoized Wing–Gong search.
+func bruteForce(n int, h trace.History) bool {
+	sorted := append(trace.History(nil), h...)
+	sorted.Sort()
+	m := len(sorted)
+	perm := make([]int, m)
+	used := make([]bool, m)
+	var try func(depth int, spec *seqdsu.Spec) bool
+	try = func(depth int, spec *seqdsu.Spec) bool {
+		if depth == m {
+			return true
+		}
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			// Real-time order: every predecessor must already be placed.
+			ok := true
+			for j := 0; j < m; j++ {
+				if j != i && !used[j] && sorted.Precedes(j, i) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			e := sorted[i]
+			next := spec
+			var got bool
+			switch e.Kind {
+			case workload.OpUnite:
+				next = spec.Clone()
+				got = next.Unite(e.X, e.Y)
+			case workload.OpSameSet:
+				got = spec.SameSet(e.X, e.Y)
+			}
+			if got != e.Result {
+				continue
+			}
+			used[i] = true
+			perm[depth] = i
+			if try(depth+1, next) {
+				return true
+			}
+			used[i] = false
+		}
+		return false
+	}
+	return try(0, seqdsu.NewSpec(n))
+}
+
+// randomHistory builds a small random history that may or may not be
+// linearizable: random ops, random results, random overlapping intervals.
+func randomHistory(rng *randutil.Xoshiro256, n, procs, opsPerProc int) trace.History {
+	var h trace.History
+	for p := 0; p < procs; p++ {
+		t := int64(rng.Intn(4))
+		for k := 0; k < opsPerProc; k++ {
+			kind := workload.OpSameSet
+			if rng.Intn(2) == 0 {
+				kind = workload.OpUnite
+			}
+			inv := t
+			resp := inv + 1 + int64(rng.Intn(6))
+			h = append(h, trace.Event{
+				Proc: p, Kind: kind,
+				X: uint32(rng.Intn(n)), Y: uint32(rng.Intn(n)),
+				Result: rng.Intn(2) == 0,
+				Inv:    inv, Resp: resp,
+			})
+			t = resp + 1 + int64(rng.Intn(3))
+		}
+	}
+	return h
+}
+
+// validateWitness independently verifies a returned witness: it is a
+// permutation of the history, re-executes correctly against the spec, and
+// respects real-time precedence.
+func validateWitness(t *testing.T, n int, h trace.History, witness []trace.Event) {
+	t.Helper()
+	if len(witness) != len(h) {
+		t.Fatalf("witness length %d != history length %d", len(witness), len(h))
+	}
+	seen := make(map[trace.Event]int)
+	for _, e := range h {
+		seen[e]++
+	}
+	for _, e := range witness {
+		seen[e]--
+		if seen[e] < 0 {
+			t.Fatalf("witness contains event %v not in history (or too often)", e)
+		}
+	}
+	spec := seqdsu.NewSpec(n)
+	for i, e := range witness {
+		var got bool
+		switch e.Kind {
+		case workload.OpUnite:
+			got = spec.Unite(e.X, e.Y)
+		case workload.OpSameSet:
+			got = spec.SameSet(e.X, e.Y)
+		}
+		if got != e.Result {
+			t.Fatalf("witness step %d (%v): spec returned %v", i, e, got)
+		}
+		for j := 0; j < i; j++ {
+			if witness[i].Resp < witness[j].Inv {
+				t.Fatalf("witness violates real time: %v before %v", witness[j], witness[i])
+			}
+		}
+	}
+}
+
+// TestWitnessProperties checks every accepted random history's witness with
+// an independent validator.
+func TestWitnessProperties(t *testing.T) {
+	rng := randutil.NewXoshiro256(123)
+	validated := 0
+	for trial := 0; trial < 1500 && validated < 200; trial++ {
+		n := 3 + rng.Intn(3)
+		h := randomHistory(rng, n, 2+rng.Intn(2), 1+rng.Intn(2))
+		witness, err := Check(n, h)
+		if err != nil {
+			continue
+		}
+		validateWitness(t, n, h, witness)
+		validated++
+	}
+	if validated < 50 {
+		t.Fatalf("only %d witnesses validated; sweep too weak", validated)
+	}
+}
+
+// TestCheckerAgreesWithBruteForce cross-validates the memoized checker
+// against exhaustive permutation search on thousands of random histories —
+// including non-linearizable ones (random results are often inconsistent).
+func TestCheckerAgreesWithBruteForce(t *testing.T) {
+	rng := randutil.NewXoshiro256(99)
+	accepted, rejected := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		n := 3 + rng.Intn(3)
+		h := randomHistory(rng, n, 2+rng.Intn(2), 1+rng.Intn(2))
+		want := bruteForce(n, h)
+		_, err := Check(n, h)
+		got := err == nil
+		if got != want {
+			t.Fatalf("trial %d: checker=%v bruteforce=%v history=%v", trial, got, want, h)
+		}
+		if got {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	// The sweep must exercise both outcomes to mean anything.
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate sweep: %d accepted, %d rejected", accepted, rejected)
+	}
+}

@@ -1,0 +1,103 @@
+// Package linearize checks concurrent set-union histories for
+// linearizability (Herlihy & Wing): is there a total order of the completed
+// operations, consistent with real-time precedence, whose sequential
+// execution against the specification returns every operation's observed
+// result?
+//
+// The search is the Wing–Gong tree search specialised to set union: states
+// are partitions, canonically fingerprinted, and (linearized-set, partition)
+// pairs are memoized, which prunes the exponential tree to something that
+// handles the small dense histories produced by the simulator (tens of
+// operations) in microseconds to milliseconds.
+package linearize
+
+import (
+	"fmt"
+
+	"repro/internal/seqdsu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MaxOps is the largest history Check accepts (bitmask-bounded).
+const MaxOps = 63
+
+// Check reports whether h over elements 0..n−1 is linearizable. On success
+// it returns a witness: the events of h in a valid linearization order. On
+// failure it returns a descriptive error.
+func Check(n int, h trace.History) ([]trace.Event, error) {
+	if len(h) > MaxOps {
+		return nil, fmt.Errorf("linearize: history of %d ops exceeds limit %d", len(h), MaxOps)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	sorted := append(trace.History(nil), h...)
+	sorted.Sort()
+	m := len(sorted)
+	// pred[i] = bitmask of operations that really-precede i.
+	pred := make([]uint64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && sorted.Precedes(j, i) {
+				pred[i] |= 1 << j
+			}
+		}
+	}
+	type memoKey struct {
+		mask uint64
+		fp   uint64
+	}
+	visited := make(map[memoKey]bool)
+	order := make([]int, 0, m)
+	full := uint64(1)<<m - 1
+
+	var dfs func(mask uint64, spec *seqdsu.Spec) bool
+	dfs = func(mask uint64, spec *seqdsu.Spec) bool {
+		if mask == full {
+			return true
+		}
+		key := memoKey{mask, spec.Fingerprint()}
+		if visited[key] {
+			return false
+		}
+		visited[key] = true
+		for i := 0; i < m; i++ {
+			bit := uint64(1) << i
+			if mask&bit != 0 || pred[i]&^mask != 0 {
+				continue // already linearized, or a predecessor is pending
+			}
+			e := sorted[i]
+			next := spec
+			var got bool
+			switch e.Kind {
+			case workload.OpUnite:
+				// Unite mutates: clone first so siblings see clean state.
+				next = spec.Clone()
+				got = next.Unite(e.X, e.Y)
+			case workload.OpSameSet:
+				got = spec.SameSet(e.X, e.Y)
+			default:
+				panic(fmt.Sprintf("linearize: unknown op kind %d", e.Kind))
+			}
+			if got != e.Result {
+				continue
+			}
+			order = append(order, i)
+			if dfs(mask|bit, next) {
+				return true
+			}
+			order = order[:len(order)-1]
+		}
+		return false
+	}
+
+	if !dfs(0, seqdsu.NewSpec(n)) {
+		return nil, fmt.Errorf("linearize: history of %d ops is not linearizable: %v", m, sorted)
+	}
+	witness := make([]trace.Event, m)
+	for k, idx := range order {
+		witness[k] = sorted[idx]
+	}
+	return witness, nil
+}

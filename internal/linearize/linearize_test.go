@@ -1,0 +1,228 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func unite(proc int, x, y uint32, result bool, inv, resp int64) trace.Event {
+	return trace.Event{Proc: proc, Kind: workload.OpUnite, X: x, Y: y, Result: result, Inv: inv, Resp: resp}
+}
+
+func sameset(proc int, x, y uint32, result bool, inv, resp int64) trace.Event {
+	return trace.Event{Proc: proc, Kind: workload.OpSameSet, X: x, Y: y, Result: result, Inv: inv, Resp: resp}
+}
+
+func TestEmptyAndSequentialHistories(t *testing.T) {
+	if _, err := Check(4, nil); err != nil {
+		t.Fatalf("empty history: %v", err)
+	}
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 1),
+		sameset(0, 0, 1, true, 2, 3),
+		unite(0, 0, 1, false, 4, 5),
+		sameset(0, 2, 3, false, 6, 7),
+	}
+	w, err := Check(4, h)
+	if err != nil {
+		t.Fatalf("sequential history rejected: %v", err)
+	}
+	if len(w) != 4 {
+		t.Fatalf("witness length %d", len(w))
+	}
+}
+
+func TestSequentialWrongResultRejected(t *testing.T) {
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 1),
+		sameset(0, 0, 1, false, 2, 3), // wrong: they are together
+	}
+	if _, err := Check(4, h); err == nil {
+		t.Fatal("wrong sequential result accepted")
+	}
+}
+
+func TestConcurrentReorderingAccepted(t *testing.T) {
+	// Overlapping Unite(0,1) on p0 and SameSet(0,1)=true on p1: legal iff
+	// the SameSet linearizes after the Unite, which overlap permits.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 10),
+		sameset(1, 0, 1, true, 5, 12),
+	}
+	if _, err := Check(2, h); err != nil {
+		t.Fatalf("legal overlap rejected: %v", err)
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// SameSet(0,1)=true completes strictly before the only Unite(0,1)
+	// begins: impossible.
+	h := trace.History{
+		sameset(1, 0, 1, true, 0, 1),
+		unite(0, 0, 1, true, 5, 6),
+	}
+	if _, err := Check(2, h); err == nil {
+		t.Fatal("future-reading SameSet accepted")
+	}
+}
+
+func TestDoubleLinkRejected(t *testing.T) {
+	// Two Unites of the same fresh pair cannot both report performing the
+	// link, in any order.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 10),
+		unite(1, 0, 1, true, 0, 10),
+	}
+	if _, err := Check(2, h); err == nil {
+		t.Fatal("double link accepted")
+	}
+}
+
+func TestTransitiveMergeAccepted(t *testing.T) {
+	// Three processes: 0∪1, 2∪3 concurrently, then 1∪2, then queries.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 5),
+		unite(1, 2, 3, true, 1, 6),
+		unite(2, 1, 2, true, 7, 9),
+		sameset(0, 0, 3, true, 10, 11),
+		sameset(1, 0, 2, true, 10, 12),
+	}
+	if _, err := Check(4, h); err != nil {
+		t.Fatalf("legal transitive history rejected: %v", err)
+	}
+}
+
+func TestConcurrentUniteOneWinner(t *testing.T) {
+	// Concurrent Unites of the same pair: exactly one may report the link.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 10),
+		unite(1, 0, 1, false, 0, 10),
+	}
+	if _, err := Check(2, h); err != nil {
+		t.Fatalf("one-winner history rejected: %v", err)
+	}
+}
+
+func TestFalseSameSetDuringOverlapAccepted(t *testing.T) {
+	// SameSet overlapping the Unite may legally return false (linearized
+	// before it).
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 10),
+		sameset(1, 0, 1, false, 5, 12),
+	}
+	if _, err := Check(2, h); err != nil {
+		t.Fatalf("legal pre-linearized SameSet rejected: %v", err)
+	}
+}
+
+func TestSeparationAfterMergeRejected(t *testing.T) {
+	// Once united (operation completed), a later SameSet cannot see them
+	// apart: sets never split.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 1),
+		sameset(1, 0, 1, false, 2, 3),
+		sameset(1, 0, 1, true, 4, 5),
+	}
+	if _, err := Check(2, h); err == nil {
+		t.Fatal("set fission accepted")
+	}
+}
+
+func TestWitnessIsConsistent(t *testing.T) {
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 5),
+		sameset(1, 0, 1, true, 3, 8),
+		unite(1, 2, 3, true, 9, 10),
+	}
+	w, err := Check(4, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness contains exactly the history's events.
+	if len(w) != len(h) {
+		t.Fatalf("witness length %d", len(w))
+	}
+	// SameSet=true must come after Unite(0,1) in the witness.
+	pos := map[string]int{}
+	for i, e := range w {
+		pos[e.String()] = i
+	}
+	if pos[h[1].String()] < pos[h[0].String()] {
+		t.Fatalf("witness orders SameSet before the Unite it needs: %v", w)
+	}
+}
+
+func TestOversizedHistoryRejected(t *testing.T) {
+	h := make(trace.History, MaxOps+1)
+	for i := range h {
+		h[i] = sameset(0, 0, 0, true, int64(2*i), int64(2*i+1))
+	}
+	if _, err := Check(2, h); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized history: %v", err)
+	}
+}
+
+func TestInvalidHistoryRejected(t *testing.T) {
+	// Overlapping operations on the same process are malformed.
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 10),
+		unite(0, 2, 3, true, 5, 7),
+	}
+	if _, err := Check(4, h); err == nil {
+		t.Fatal("overlapping same-process ops accepted")
+	}
+}
+
+func TestSelfSameSet(t *testing.T) {
+	h := trace.History{sameset(0, 3, 3, true, 0, 1)}
+	if _, err := Check(4, h); err != nil {
+		t.Fatalf("self SameSet=true rejected: %v", err)
+	}
+	h = trace.History{sameset(0, 3, 3, false, 0, 1)}
+	if _, err := Check(4, h); err == nil {
+		t.Fatal("self SameSet=false accepted")
+	}
+}
+
+// TestDeepInterleavingStress: a dense overlapping history that is
+// linearizable only via a specific interleaving; exercises memoization.
+func TestDeepInterleavingStress(t *testing.T) {
+	// All ops overlap everything (same [0, 100] window).
+	h := trace.History{
+		unite(0, 0, 1, true, 0, 100),
+		unite(1, 1, 2, true, 0, 100),
+		unite(2, 2, 3, true, 0, 100),
+		unite(3, 3, 4, true, 0, 100),
+		sameset(4, 0, 4, true, 0, 100),
+		sameset(5, 0, 2, true, 0, 100),
+	}
+	if _, err := Check(8, h); err != nil {
+		t.Fatalf("dense history rejected: %v", err)
+	}
+	// A Unite(0,4) claiming NO link is satisfiable (linearized after the
+	// chain closed); claiming a link would be a fifth link over five
+	// elements, impossible.
+	h = append(h, unite(6, 0, 4, false, 0, 100))
+	if _, err := Check(8, h); err != nil {
+		t.Fatalf("still-satisfiable history rejected: %v", err)
+	}
+	h[len(h)-1].Result = true
+	if _, err := Check(8, h); err == nil {
+		t.Fatal("fifth link over five elements accepted")
+	}
+	// But if every Unite in a complete 5-cycle claims a link, one is a lie:
+	// 5 links over 5 elements would leave 0 sets.
+	bad := trace.History{
+		unite(0, 0, 1, true, 0, 100),
+		unite(1, 1, 2, true, 0, 100),
+		unite(2, 2, 3, true, 0, 100),
+		unite(3, 3, 4, true, 0, 100),
+		unite(4, 4, 0, true, 0, 100),
+	}
+	if _, err := Check(5, bad); err == nil {
+		t.Fatal("5-cycle of claimed links over 5 elements accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package potential
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ackermann"
+	"repro/internal/apram"
+	"repro/internal/core"
+	"repro/internal/randutil"
+	"repro/internal/sched"
+	"repro/internal/simdsu"
+	"repro/internal/workload"
+)
+
+// runTracked executes a workload on the simulator with a Tracker wired to
+// every successful parent CAS and returns it.
+func runTracked(t *testing.T, n, m, procs int, find core.Find, mode Mode, schedFor func() apram.Scheduler) *Tracker {
+	t.Helper()
+	cfg := core.Config{Find: find, Seed: 7}
+	s := simdsu.New(n, cfg)
+	ids := make([]uint32, n)
+	for x := uint32(0); int(x) < n; x++ {
+		ids[x] = s.ID(x)
+	}
+	d := float64(m) / (float64(n) * float64(procs))
+	tracker := New(ids, d, mode)
+
+	machine := apram.NewMachine(s.Words(), schedFor(), 50_000_000)
+	s.Init(machine.Mem())
+	machine.SetObserver(func(st apram.Step) {
+		if st.Kind == apram.OpCAS && st.OK && st.Before != st.After {
+			tracker.OnChange(uint32(st.Addr), uint32(st.After))
+		}
+	})
+	for _, ops := range workload.SplitRoundRobin(workload.Mixed(n, m, 0.5, 3), procs) {
+		ops := ops
+		machine.AddProgram(func(p *apram.P) {
+			for _, op := range ops {
+				switch op.Kind {
+				case workload.OpUnite:
+					s.Unite(p, op.X, op.Y)
+				case workload.OpSameSet:
+					s.SameSet(p, op.X, op.Y)
+				}
+			}
+		})
+	}
+	machine.Run()
+	return tracker
+}
+
+// TestSequentialPropertiesAllVariants checks (i)–(vi) on single-process
+// executions of every splitting-family find.
+func TestSequentialPropertiesAllVariants(t *testing.T) {
+	for _, find := range []core.Find{core.FindOneTry, core.FindTwoTry, core.FindHalving, core.FindCompress} {
+		find := find
+		t.Run(find.String(), func(t *testing.T) {
+			t.Parallel()
+			tracker := runTracked(t, 256, 2048, 1, find, Sequential,
+				func() apram.Scheduler { return sched.NewRoundRobin() })
+			if err := tracker.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if tracker.Changes() == 0 {
+				t.Fatal("no parent changes observed")
+			}
+		})
+	}
+}
+
+// TestConcurrentPropertiesHold checks the timing-robust properties under
+// concurrency with fair and adversarial schedulers.
+func TestConcurrentPropertiesHold(t *testing.T) {
+	for name, mk := range map[string]func() apram.Scheduler{
+		"random":   func() apram.Scheduler { return sched.NewRandom(5) },
+		"lockstep": func() apram.Scheduler { return sched.NewLockstep() },
+		"stall":    func() apram.Scheduler { return sched.NewStall(sched.NewRandom(6), 0) },
+	} {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for _, find := range []core.Find{core.FindOneTry, core.FindTwoTry} {
+				tracker := runTracked(t, 128, 1024, 6, find, Concurrent, mk)
+				if err := tracker.Err(); err != nil {
+					t.Fatalf("%v: %v", find, err)
+				}
+				if tracker.Changes() == 0 {
+					t.Fatalf("%v: no changes observed", find)
+				}
+			}
+		})
+	}
+}
+
+func TestInitialState(t *testing.T) {
+	ids := []uint32{3, 0, 2, 1}
+	tr := New(ids, 1.0, Sequential)
+	for x := uint32(0); x < 4; x++ {
+		if tr.Level(x) != 0 {
+			t.Errorf("fresh node %d level %d", x, tr.Level(x))
+		}
+		if tr.Count(x) != 0 {
+			t.Errorf("fresh node %d count %d", x, tr.Count(x))
+		}
+		if got := tr.Potential(x); got <= 0 {
+			t.Errorf("fresh node %d potential %v not positive", x, got)
+		}
+	}
+}
+
+func TestDetectsRankInversion(t *testing.T) {
+	// Order the ids so element 0 has the TOP rank, then try to hang it
+	// under a rank-0 element.
+	ids := []uint32{7, 0, 1, 2, 3, 4, 5, 6}
+	tr := New(ids, 1.0, Concurrent)
+	tr.OnChange(0, 1)
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "lower-ranked") {
+		t.Fatalf("rank inversion not flagged: %v", err)
+	}
+}
+
+func TestDetectsCountDecrease(t *testing.T) {
+	// n = 8 ranks by id: id 7 → 3, ids 5,6 → 2, ids 1..4 → 1, id 0 → 0.
+	ids := []uint32{0, 1, 5, 7, 2, 3, 4, 6}
+	tr := New(ids, 1.0, Concurrent)
+	var low, mid, high uint32 // elements of rank 0, 1, 3
+	for x := uint32(0); x < 8; x++ {
+		switch ids[x] {
+		case 0:
+			low = x
+		case 1:
+			mid = x
+		case 7:
+			high = x
+		}
+	}
+	r := int64(ackermann.Rank(ids[low], 8))
+	if r != 0 {
+		t.Fatalf("setup wrong: low rank %d", r)
+	}
+	// Move low under the top-ranked node, then "back down" to a mid node:
+	// count must decrease, which the tracker flags as a (ii) violation.
+	tr.OnChange(low, high)
+	if err := tr.Err(); err != nil {
+		t.Fatalf("legal first change flagged: %v", err)
+	}
+	if tr.Count(low) <= 0 {
+		t.Fatalf("count after first change = %d, want positive", tr.Count(low))
+	}
+	tr.OnChange(low, mid)
+	if err := tr.Err(); err == nil {
+		t.Fatal("count decrease not flagged")
+	}
+}
+
+// TestPotentialBudgetCoversWork reproduces the budget argument of Theorem
+// 5.1 numerically on sequential two-try splitting: total work ≤ initial
+// potential + (α+1) per find, within the constant factors the proof grants.
+// This ties the measured Stats to the potential machinery end to end.
+func TestPotentialBudgetCoversWork(t *testing.T) {
+	const n, m = 512, 4096
+	ids := randutil.NewXoshiro256(9).Perm(n)
+	d := float64(m) / float64(n)
+	tr := New(ids, d, Sequential)
+	initial := 0.0
+	for x := uint32(0); x < n; x++ {
+		initial += tr.Potential(x)
+	}
+	if initial <= 0 {
+		t.Fatal("zero initial potential")
+	}
+	// The paper's budget: O(n·(d+1)) expected initial node potential.
+	if budget := 4 * float64(n) * (d + 1) * float64(ackermann.Alpha(int64(n), d)+2); initial > budget {
+		t.Fatalf("initial potential %f exceeds the analysis budget %f", initial, budget)
+	}
+}

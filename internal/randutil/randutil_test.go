@@ -1,0 +1,245 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("iteration %d: streams diverged: %x != %x", i, av, bv)
+		}
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Pinned regression vector for seed 1234567. If these change, every
+	// seeded experiment in the repository changes with them.
+	want := []uint64{
+		0x599ed017fb08fc85,
+		0x2c73f08458540fa5,
+		0x883ebce5a3f27c77,
+	}
+	s := NewSplitMix64(1234567)
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Errorf("value %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestMix64InjectiveSample(t *testing.T) {
+	seen := make(map[uint64]uint64, 1<<16)
+	for i := uint64(0); i < 1<<16; i++ {
+		h := Mix64(i)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestXoshiroDeterministic(t *testing.T) {
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("iteration %d: same-seed streams diverged", i)
+		}
+	}
+	c := NewXoshiro256(8)
+	same := 0
+	a2 := NewXoshiro256(7)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/1000 equal outputs", same)
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	rng := NewXoshiro256(1)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 20, 1<<63 + 3} {
+		for i := 0; i < 200; i++ {
+			if v := rng.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	NewXoshiro256(1).Uint64n(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			NewXoshiro256(1).Intn(n)
+		}()
+	}
+}
+
+func TestUint64nRoughlyUniform(t *testing.T) {
+	rng := NewXoshiro256(99)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[rng.Uint64n(n)]++
+	}
+	// χ² with 9 dof: 99.9th percentile ≈ 27.9. Use 40 for slack; a broken
+	// generator will exceed this by orders of magnitude.
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 40 {
+		t.Fatalf("χ² = %.1f too large; counts %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	rng := NewXoshiro256(5)
+	for i := 0; i < 10000; i++ {
+		f := rng.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64, n uint16) bool {
+		p := NewXoshiro256(seed).Perm(int(n))
+		if len(p) != int(n) {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if int(v) >= int(n) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIntIsPermutation(t *testing.T) {
+	p := NewXoshiro256(3).PermInt(1000)
+	seen := make([]bool, 1000)
+	for _, v := range p {
+		if v < 0 || v >= 1000 || seen[v] {
+			t.Fatalf("not a permutation at value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermUniformFirstPosition(t *testing.T) {
+	// Over many seeds, position 0 of Perm(4) should be ~uniform over 0..3.
+	const trials = 4000
+	counts := make([]int, 4)
+	for seed := uint64(0); seed < trials; seed++ {
+		counts[NewXoshiro256(seed).Perm(4)[0]]++
+	}
+	expected := float64(trials) / 4
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("value %d appeared %d times at position 0, expected ~%.0f", v, c, expected)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := NewXoshiro256(11)
+	xs := make([]int, 257)
+	for i := range xs {
+		xs[i] = i
+	}
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("duplicate value %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	rng := NewXoshiro256(17)
+	z := NewZipf(rng, 100, 1.2)
+	counts := make([]int, 100)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("expected head-heavy distribution, counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	// Rank-0 mass for s=1.2, n=100 is about 0.19; require it to dominate.
+	if frac := float64(counts[0]) / draws; frac < 0.10 {
+		t.Errorf("head mass %.3f too small for s=1.2", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	rng := NewXoshiro256(1)
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(rng, tc.n, tc.s)
+		}()
+	}
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	rng := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rng.Next()
+	}
+	_ = sink
+}
+
+func BenchmarkPerm1e6(b *testing.B) {
+	rng := NewXoshiro256(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = rng.Perm(1 << 20)
+	}
+}

@@ -1,0 +1,54 @@
+package randutil
+
+import "math"
+
+// Zipf samples from a Zipf–Mandelbrot-like distribution over {0, ..., n-1}
+// with exponent s > 0: Pr[k] ∝ 1/(k+1)^s. It is used to build skewed
+// operation workloads (hot elements united or queried far more often than
+// cold ones), which stress the compaction paths of the algorithms.
+//
+// Sampling uses binary search over the precomputed CDF; construction is
+// O(n), sampling O(log n). This is exact, not an approximation, which keeps
+// experiment workloads reproducible across machines.
+type Zipf struct {
+	cdf []float64
+	rng *Xoshiro256
+}
+
+// NewZipf returns a sampler over {0..n-1} with exponent s, drawing randomness
+// from rng. It panics if n <= 0 or s <= 0.
+func NewZipf(rng *Xoshiro256, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randutil: NewZipf with n <= 0")
+	}
+	if s <= 0 {
+		panic("randutil: NewZipf with s <= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail unreachable
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

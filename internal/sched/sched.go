@@ -1,0 +1,199 @@
+// Package sched provides schedulers for the APRAM simulator: fair ones
+// (round-robin, seeded random), the lockstep schedule the paper's
+// constructions assume, adversarial ones (stalling a set of processes,
+// biasing toward some), and deterministic replay. A scheduler instance
+// belongs to a single machine run.
+package sched
+
+import (
+	"repro/internal/apram"
+	"repro/internal/randutil"
+)
+
+// RoundRobin cycles through ready processes in id order, resuming after the
+// last process it scheduled. The zero value is ready to use.
+type RoundRobin struct {
+	last int // last scheduled process id; start below all ids
+}
+
+var _ apram.Scheduler = (*RoundRobin)(nil)
+
+// NewRoundRobin returns a fresh round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{last: -1} }
+
+// Next picks the smallest ready id greater than the last scheduled,
+// wrapping around.
+func (s *RoundRobin) Next(ready []int, _ int64) int {
+	for i, id := range ready {
+		if id > s.last {
+			s.last = id
+			return i
+		}
+	}
+	s.last = ready[0]
+	return 0
+}
+
+// Random schedules a uniformly random ready process using a seeded
+// generator, the default exploration scheduler for linearizability testing.
+type Random struct {
+	rng *randutil.Xoshiro256
+}
+
+var _ apram.Scheduler = (*Random)(nil)
+
+// NewRandom returns a random scheduler with the given seed.
+func NewRandom(seed uint64) *Random {
+	return &Random{rng: randutil.NewXoshiro256(seed)}
+}
+
+// Next picks uniformly among ready processes.
+func (s *Random) Next(ready []int, _ int64) int {
+	return s.rng.Intn(len(ready))
+}
+
+// Lockstep runs the processes in rounds: each round, every process with a
+// pending step takes exactly one, in id order. This is the schedule the
+// paper's Section 3 halving construction and Theorem 5.4 lower bound assume
+// ("the processes run in lockstep").
+type Lockstep struct {
+	stepped map[int]bool
+}
+
+var _ apram.Scheduler = (*Lockstep)(nil)
+
+// NewLockstep returns a fresh lockstep scheduler.
+func NewLockstep() *Lockstep { return &Lockstep{stepped: make(map[int]bool)} }
+
+// Next picks the smallest ready id that has not stepped this round,
+// starting a new round when all ready processes have.
+func (s *Lockstep) Next(ready []int, _ int64) int {
+	for i, id := range ready {
+		if !s.stepped[id] {
+			s.stepped[id] = true
+			return i
+		}
+	}
+	// Round complete: reset and schedule the smallest ready id.
+	clear(s.stepped)
+	s.stepped[ready[0]] = true
+	return 0
+}
+
+// Stall wraps another scheduler and never schedules a stalled process while
+// any non-stalled process is ready — the adversary that makes some
+// processes arbitrarily slow (or crashed, if they are stalled forever).
+// Wait-free algorithms must let the others finish regardless.
+type Stall struct {
+	inner   apram.Scheduler
+	stalled map[int]bool
+	// scratch buffers reused across calls
+	filtered []int
+	indices  []int
+}
+
+var _ apram.Scheduler = (*Stall)(nil)
+
+// NewStall returns a Stall wrapping inner that stalls the given process ids.
+func NewStall(inner apram.Scheduler, stalledIDs ...int) *Stall {
+	m := make(map[int]bool, len(stalledIDs))
+	for _, id := range stalledIDs {
+		m[id] = true
+	}
+	return &Stall{inner: inner, stalled: m}
+}
+
+// Next schedules among non-stalled ready processes when any exist,
+// otherwise falls back to the full ready set (so stalled-only states still
+// make progress and the run terminates).
+func (s *Stall) Next(ready []int, step int64) int {
+	s.filtered = s.filtered[:0]
+	s.indices = s.indices[:0]
+	for i, id := range ready {
+		if !s.stalled[id] {
+			s.filtered = append(s.filtered, id)
+			s.indices = append(s.indices, i)
+		}
+	}
+	if len(s.filtered) == 0 {
+		return s.inner.Next(ready, step)
+	}
+	return s.indices[s.inner.Next(s.filtered, step)]
+}
+
+// Weighted schedules ready process i with probability proportional to
+// weight[i], modelling persistently fast and slow processes.
+type Weighted struct {
+	weights []float64
+	rng     *randutil.Xoshiro256
+}
+
+var _ apram.Scheduler = (*Weighted)(nil)
+
+// NewWeighted returns a weighted scheduler; weights[id] is process id's
+// weight (ids beyond the slice weigh 1). It panics on negative weights.
+func NewWeighted(seed uint64, weights []float64) *Weighted {
+	for _, w := range weights {
+		if w < 0 {
+			panic("sched: negative weight")
+		}
+	}
+	return &Weighted{weights: weights, rng: randutil.NewXoshiro256(seed)}
+}
+
+// Next samples among ready proportionally to weight.
+func (s *Weighted) Next(ready []int, _ int64) int {
+	total := 0.0
+	for _, id := range ready {
+		total += s.weightOf(id)
+	}
+	if total <= 0 {
+		return s.rng.Intn(len(ready))
+	}
+	target := s.rng.Float64() * total
+	acc := 0.0
+	for i, id := range ready {
+		acc += s.weightOf(id)
+		if target < acc {
+			return i
+		}
+	}
+	return len(ready) - 1
+}
+
+func (s *Weighted) weightOf(id int) float64 {
+	if id < len(s.weights) {
+		return s.weights[id]
+	}
+	return 1
+}
+
+// Replay schedules a recorded sequence of process ids, skipping entries
+// whose process has no pending step and falling back to round-robin when
+// the recording is exhausted. Used to pin down schedules that exposed bugs.
+type Replay struct {
+	seq      []int
+	pos      int
+	fallback *RoundRobin
+}
+
+var _ apram.Scheduler = (*Replay)(nil)
+
+// NewReplay returns a scheduler replaying seq.
+func NewReplay(seq []int) *Replay {
+	return &Replay{seq: seq, fallback: NewRoundRobin()}
+}
+
+// Next replays the next usable recorded id.
+func (s *Replay) Next(ready []int, step int64) int {
+	for s.pos < len(s.seq) {
+		want := s.seq[s.pos]
+		s.pos++
+		for i, id := range ready {
+			if id == want {
+				return i
+			}
+		}
+	}
+	return s.fallback.Next(ready, step)
+}

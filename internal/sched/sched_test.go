@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/apram"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := NewRoundRobin()
+	ready := []int{0, 1, 2}
+	var order []int
+	for i := 0; i < 6; i++ {
+		idx := s.Next(ready, int64(i))
+		order = append(order, ready[idx])
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsMissing(t *testing.T) {
+	s := NewRoundRobin()
+	if got := s.Next([]int{0, 2, 5}, 0); got != 0 {
+		t.Fatalf("first pick index %d", got)
+	}
+	// Last was 0; among {2,5} the next is 2 (index 0).
+	if got := s.Next([]int{2, 5}, 1); got != 0 {
+		t.Fatalf("second pick index %d", got)
+	}
+	// Last was 2; among {0, 1} wraps to 0.
+	if got := s.Next([]int{0, 1}, 2); got != 0 {
+		t.Fatalf("wrap pick index %d", got)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandom(3), NewRandom(3)
+	ready := []int{0, 1, 2, 3, 4}
+	for i := 0; i < 100; i++ {
+		if a.Next(ready, int64(i)) != b.Next(ready, int64(i)) {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRandom(4)
+	diff := false
+	a2 := NewRandom(3)
+	for i := 0; i < 100; i++ {
+		if a2.Next(ready, int64(i)) != c.Next(ready, int64(i)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds identical for 100 picks")
+	}
+}
+
+func TestLockstepRounds(t *testing.T) {
+	s := NewLockstep()
+	ready := []int{0, 1, 2}
+	var order []int
+	for i := 0; i < 9; i++ {
+		order = append(order, ready[s.Next(ready, int64(i))])
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestLockstepHandlesDepartures(t *testing.T) {
+	s := NewLockstep()
+	// Round with {0,1}: 0 then 1; then 1 leaves; next round {0} → 0.
+	if got := s.Next([]int{0, 1}, 0); got != 0 {
+		t.Fatal("expected 0 first")
+	}
+	if got := s.Next([]int{0, 1}, 1); got != 1 {
+		t.Fatal("expected 1 second")
+	}
+	if got := s.Next([]int{0}, 2); got != 0 {
+		t.Fatal("expected 0 in new round")
+	}
+}
+
+func TestStallAvoidsStalledWhileOthersReady(t *testing.T) {
+	s := NewStall(NewRoundRobin(), 1)
+	ready := []int{0, 1, 2}
+	for i := 0; i < 50; i++ {
+		if picked := ready[s.Next(ready, int64(i))]; picked == 1 {
+			t.Fatal("stalled process scheduled while others ready")
+		}
+	}
+	// Only the stalled process ready: it must still run (termination).
+	if got := s.Next([]int{1}, 99); got != 0 {
+		t.Fatalf("fallback pick %d", got)
+	}
+}
+
+func TestWeightedBias(t *testing.T) {
+	s := NewWeighted(7, []float64{10, 0.1})
+	ready := []int{0, 1}
+	count0 := 0
+	for i := 0; i < 2000; i++ {
+		if ready[s.Next(ready, int64(i))] == 0 {
+			count0++
+		}
+	}
+	if count0 < 1800 {
+		t.Fatalf("heavy process scheduled only %d/2000", count0)
+	}
+}
+
+func TestWeightedDefaultsAndPanics(t *testing.T) {
+	s := NewWeighted(1, nil) // all default weight 1
+	seen := map[int]bool{}
+	ready := []int{0, 1}
+	for i := 0; i < 100; i++ {
+		seen[ready[s.Next(ready, int64(i))]] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatal("uniform weighted did not schedule both")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight accepted")
+		}
+	}()
+	NewWeighted(1, []float64{-1})
+}
+
+func TestReplayFollowsSequenceThenFallsBack(t *testing.T) {
+	s := NewReplay([]int{2, 0, 7, 1}) // 7 never ready: skipped
+	ready := []int{0, 1, 2}
+	var order []int
+	for i := 0; i < 5; i++ {
+		idx := s.Next(ready, int64(i))
+		order = append(order, ready[idx])
+	}
+	// 2, 0, (7 skipped) 1, then the fresh round-robin fallback starts its
+	// own cycle at the lowest id: 0, 1.
+	want := []int{2, 0, 1, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSchedulersDriveMachine smoke-tests every scheduler against a real
+// machine workload: all processes complete and the deterministic ones are
+// reproducible.
+func TestSchedulersDriveMachine(t *testing.T) {
+	build := func(s apram.Scheduler) *apram.Machine {
+		m := apram.NewMachine(4, s, 100000)
+		for i := 0; i < 4; i++ {
+			i := i
+			m.AddProgram(func(p *apram.P) {
+				for k := 0; k < 25; k++ {
+					v := p.Read(i)
+					p.Write(i, v+1)
+				}
+			})
+		}
+		return m
+	}
+	scheds := map[string]func() apram.Scheduler{
+		"roundrobin": func() apram.Scheduler { return NewRoundRobin() },
+		"random":     func() apram.Scheduler { return NewRandom(5) },
+		"lockstep":   func() apram.Scheduler { return NewLockstep() },
+		"stall":      func() apram.Scheduler { return NewStall(NewRoundRobin(), 2) },
+		"weighted":   func() apram.Scheduler { return NewWeighted(5, []float64{5, 1, 1, 1}) },
+		"replay":     func() apram.Scheduler { return NewReplay([]int{0, 1, 2, 3}) },
+	}
+	for name, mk := range scheds {
+		t.Run(name, func(t *testing.T) {
+			m := build(mk())
+			total := m.Run()
+			if total != 4*25*2 {
+				t.Fatalf("total steps %d", total)
+			}
+			for i := 0; i < 4; i++ {
+				if m.Mem()[i] != 25 {
+					t.Fatalf("mem[%d] = %d", i, m.Mem()[i])
+				}
+			}
+			// Determinism: per-process step counts repeat exactly.
+			m2 := build(mk())
+			m2.Run()
+			for i := range m.Steps() {
+				if m.Steps()[i] != m2.Steps()[i] {
+					t.Fatalf("scheduler %s not deterministic", name)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,329 @@
+// Package seqdsu implements the classical sequential compressed-tree
+// disjoint-set structures of Section 2 of Jayanti & Tarjan (PODC 2016):
+// every combination of a linking rule (by size, by rank, or randomized) with
+// a compaction rule (none, compression, splitting, or halving), twelve
+// algorithms in all, each with the O(m·α(n, m/n)) bound cited there.
+//
+// These serve three roles in this repository: the specification oracle that
+// concurrent executions are checked against, the single-process baseline for
+// speedup measurements, and the substrate for validating the randomized-
+// linking analysis of Section 4 (rank distributions, forest height).
+//
+// The structures count parent-pointer reads and writes so experiments can
+// compare sequential work against concurrent work in the same units.
+package seqdsu
+
+import (
+	"fmt"
+
+	"repro/internal/randutil"
+)
+
+// Linking selects the rule deciding which root becomes the child in a link.
+type Linking int
+
+const (
+	// LinkRandom links the root that is smaller in a uniformly random total
+	// order chosen at initialization (Goel et al., SODA 2014) below the
+	// larger; it is the rule the paper's concurrent algorithm uses.
+	LinkRandom Linking = iota + 1
+	// LinkRank links the root of smaller rank below the larger, bumping the
+	// rank on ties (Tarjan & van Leeuwen).
+	LinkRank
+	// LinkSize links the root of the smaller tree below the larger (Tarjan
+	// 1975), breaking ties toward the second argument.
+	LinkSize
+)
+
+// String returns the conventional name of the rule.
+func (l Linking) String() string {
+	switch l {
+	case LinkRandom:
+		return "random"
+	case LinkRank:
+		return "rank"
+	case LinkSize:
+		return "size"
+	default:
+		return fmt.Sprintf("Linking(%d)", int(l))
+	}
+}
+
+// Compaction selects the find-path restructuring rule.
+type Compaction int
+
+const (
+	// CompactNone leaves find paths untouched.
+	CompactNone Compaction = iota + 1
+	// CompactCompression points every node on the find path at the root
+	// (two passes).
+	CompactCompression
+	// CompactSplitting points every node on the find path at its
+	// grandparent (one pass).
+	CompactSplitting
+	// CompactHalving points every other node on the find path at its
+	// grandparent, starting with the first (one pass).
+	CompactHalving
+)
+
+// String returns the conventional name of the rule.
+func (c Compaction) String() string {
+	switch c {
+	case CompactNone:
+		return "none"
+	case CompactCompression:
+		return "compression"
+	case CompactSplitting:
+		return "splitting"
+	case CompactHalving:
+		return "halving"
+	default:
+		return fmt.Sprintf("Compaction(%d)", int(c))
+	}
+}
+
+// Work tallies the parent-pointer traffic of a structure, the unit in which
+// the paper states all bounds.
+type Work struct {
+	ParentReads  int64
+	ParentWrites int64
+	Finds        int64
+	Links        int64
+}
+
+// Total returns reads + writes, the total pointer-word work.
+func (w Work) Total() int64 { return w.ParentReads + w.ParentWrites }
+
+// DSU is a sequential disjoint-set-union structure over elements 0..n−1.
+// It is not safe for concurrent use; that is the whole point of the
+// concurrent packages in this repository.
+type DSU struct {
+	parent []uint32
+	// aux is rank for LinkRank, size for LinkSize, unused for LinkRandom.
+	aux []int32
+	// id is the random total order for LinkRandom: id[x] gives x's position.
+	id         []uint32
+	linking    Linking
+	compaction Compaction
+	work       Work
+	sets       int
+}
+
+// New returns a DSU over n singleton elements with the given rules. The
+// seed fixes the random total order used by LinkRandom (and is ignored by
+// the deterministic rules). It panics if n < 0 or a rule is unknown.
+func New(n int, linking Linking, compaction Compaction, seed uint64) *DSU {
+	if n < 0 {
+		panic("seqdsu: negative size")
+	}
+	switch linking {
+	case LinkRandom, LinkRank, LinkSize:
+	default:
+		panic("seqdsu: unknown linking rule")
+	}
+	switch compaction {
+	case CompactNone, CompactCompression, CompactSplitting, CompactHalving:
+	default:
+		panic("seqdsu: unknown compaction rule")
+	}
+	d := &DSU{
+		parent:     make([]uint32, n),
+		linking:    linking,
+		compaction: compaction,
+		sets:       n,
+	}
+	for i := range d.parent {
+		d.parent[i] = uint32(i)
+	}
+	switch linking {
+	case LinkRandom:
+		d.id = randutil.NewXoshiro256(seed).Perm(n)
+	case LinkRank:
+		d.aux = make([]int32, n)
+	case LinkSize:
+		d.aux = make([]int32, n)
+		for i := range d.aux {
+			d.aux[i] = 1
+		}
+	}
+	return d
+}
+
+// N returns the number of elements.
+func (d *DSU) N() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Work returns the accumulated work counters.
+func (d *DSU) Work() Work { return d.work }
+
+// ResetWork zeroes the work counters without touching the partition.
+func (d *DSU) ResetWork() { d.work = Work{} }
+
+// ID returns element x's position in the random total order; it panics for
+// structures not using LinkRandom.
+func (d *DSU) ID(x uint32) uint32 {
+	if d.id == nil {
+		panic("seqdsu: ID on a non-random-linking structure")
+	}
+	return d.id[x]
+}
+
+// Find returns the root of the tree containing x, applying the configured
+// compaction to the find path.
+func (d *DSU) Find(x uint32) uint32 {
+	d.work.Finds++
+	switch d.compaction {
+	case CompactNone:
+		return d.findPlain(x)
+	case CompactCompression:
+		return d.findCompress(x)
+	case CompactSplitting:
+		return d.findSplit(x)
+	default:
+		return d.findHalve(x)
+	}
+}
+
+func (d *DSU) findPlain(x uint32) uint32 {
+	for {
+		p := d.parent[x]
+		d.work.ParentReads++
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+func (d *DSU) findCompress(x uint32) uint32 {
+	root := d.findPlain(x)
+	for x != root {
+		p := d.parent[x]
+		d.work.ParentReads++
+		if p != root {
+			d.parent[x] = root
+			d.work.ParentWrites++
+		}
+		x = p
+	}
+	return root
+}
+
+func (d *DSU) findSplit(x uint32) uint32 {
+	for {
+		p := d.parent[x]
+		g := d.parent[p]
+		d.work.ParentReads += 2
+		if p == g {
+			return p
+		}
+		d.parent[x] = g
+		d.work.ParentWrites++
+		x = p
+	}
+}
+
+func (d *DSU) findHalve(x uint32) uint32 {
+	for {
+		p := d.parent[x]
+		g := d.parent[p]
+		d.work.ParentReads += 2
+		if p == g {
+			return p
+		}
+		d.parent[x] = g
+		d.work.ParentWrites++
+		x = g
+	}
+}
+
+// SameSet reports whether x and y are in the same set.
+func (d *DSU) SameSet(x, y uint32) bool {
+	return d.Find(x) == d.Find(y)
+}
+
+// Unite merges the sets containing x and y; it reports whether a link was
+// performed (false when they were already together).
+func (d *DSU) Unite(x, y uint32) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	d.link(rx, ry)
+	d.work.Links++
+	d.sets--
+	return true
+}
+
+// link makes one of the two distinct roots the parent of the other per the
+// configured rule.
+func (d *DSU) link(rx, ry uint32) {
+	switch d.linking {
+	case LinkRandom:
+		// Smaller in the random order links below larger (Section 2).
+		if d.id[rx] < d.id[ry] {
+			rx, ry = ry, rx
+		}
+		d.parent[ry] = rx
+		d.work.ParentWrites++
+	case LinkRank:
+		switch {
+		case d.aux[rx] < d.aux[ry]:
+			d.parent[rx] = ry
+		case d.aux[rx] > d.aux[ry]:
+			d.parent[ry] = rx
+		default:
+			d.parent[ry] = rx
+			d.aux[rx]++
+		}
+		d.work.ParentWrites++
+	case LinkSize:
+		if d.aux[rx] < d.aux[ry] {
+			rx, ry = ry, rx
+		}
+		d.parent[ry] = rx
+		d.aux[rx] += d.aux[ry]
+		d.work.ParentWrites++
+	}
+}
+
+// Parent exposes the current parent pointer of x, for forest analysis.
+func (d *DSU) Parent(x uint32) uint32 { return d.parent[x] }
+
+// CanonicalLabels returns, for each element, the minimum element of its set.
+// Two structures represent the same partition exactly when their canonical
+// label slices are equal; the concurrent tests rely on this.
+func (d *DSU) CanonicalLabels() []uint32 {
+	return CanonicalizeParents(d.parent)
+}
+
+// CanonicalizeParents computes min-element labels from any parent-pointer
+// forest (each root points to itself). It does not mutate parents.
+func CanonicalizeParents(parent []uint32) []uint32 {
+	n := len(parent)
+	root := make([]uint32, n)
+	for i := range root {
+		x := uint32(i)
+		for parent[x] != x {
+			x = parent[x]
+		}
+		root[i] = x
+	}
+	minOf := make([]uint32, n)
+	for i := range minOf {
+		minOf[i] = ^uint32(0)
+	}
+	for i := 0; i < n; i++ {
+		r := root[i]
+		if uint32(i) < minOf[r] {
+			minOf[r] = uint32(i)
+		}
+	}
+	labels := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		labels[i] = minOf[root[i]]
+	}
+	return labels
+}

@@ -1,0 +1,408 @@
+package seqdsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randutil"
+)
+
+var allLinkings = []Linking{LinkRandom, LinkRank, LinkSize}
+var allCompactions = []Compaction{CompactNone, CompactCompression, CompactSplitting, CompactHalving}
+
+func forEachVariant(t *testing.T, f func(t *testing.T, l Linking, c Compaction)) {
+	t.Helper()
+	for _, l := range allLinkings {
+		for _, c := range allCompactions {
+			l, c := l, c
+			t.Run(l.String()+"/"+c.String(), func(t *testing.T) { f(t, l, c) })
+		}
+	}
+}
+
+func TestSingletonsInitially(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, l Linking, c Compaction) {
+		d := New(10, l, c, 1)
+		if d.Sets() != 10 {
+			t.Fatalf("Sets = %d, want 10", d.Sets())
+		}
+		for i := uint32(0); i < 10; i++ {
+			if d.Find(i) != i {
+				t.Errorf("Find(%d) = %d before any union", i, d.Find(i))
+			}
+			for j := i + 1; j < 10; j++ {
+				if d.SameSet(i, j) {
+					t.Errorf("SameSet(%d,%d) true before any union", i, j)
+				}
+			}
+		}
+	})
+}
+
+func TestUniteSemantics(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, l Linking, c Compaction) {
+		d := New(6, l, c, 7)
+		if !d.Unite(0, 1) {
+			t.Fatal("first Unite(0,1) reported no link")
+		}
+		if d.Unite(0, 1) {
+			t.Fatal("repeated Unite(0,1) reported a link")
+		}
+		if !d.SameSet(0, 1) || d.SameSet(0, 2) {
+			t.Fatal("membership wrong after one union")
+		}
+		d.Unite(2, 3)
+		d.Unite(1, 3) // merges the two pairs
+		for _, pair := range [][2]uint32{{0, 2}, {0, 3}, {1, 2}} {
+			if !d.SameSet(pair[0], pair[1]) {
+				t.Errorf("SameSet(%d,%d) false after merging pairs", pair[0], pair[1])
+			}
+		}
+		if d.SameSet(0, 5) {
+			t.Error("disjoint element 5 merged spuriously")
+		}
+		if d.Sets() != 3 { // {0,1,2,3}, {4}, {5}
+			t.Errorf("Sets = %d, want 3", d.Sets())
+		}
+	})
+}
+
+func TestTransitivityChain(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, l Linking, c Compaction) {
+		const n = 500
+		d := New(n, l, c, 3)
+		for i := uint32(0); i+1 < n; i++ {
+			d.Unite(i, i+1)
+		}
+		if d.Sets() != 1 {
+			t.Fatalf("Sets = %d after chaining all, want 1", d.Sets())
+		}
+		if !d.SameSet(0, n-1) {
+			t.Fatal("ends of chain not connected")
+		}
+	})
+}
+
+// TestAllVariantsAgree drives every variant with the same random operation
+// sequence and requires identical partitions and identical SameSet answers —
+// linking and compaction affect efficiency only, never semantics (Section 2).
+func TestAllVariantsAgree(t *testing.T) {
+	const n, ops = 200, 600
+	rng := randutil.NewXoshiro256(42)
+	type op struct {
+		unite bool
+		x, y  uint32
+	}
+	seq := make([]op, ops)
+	for i := range seq {
+		seq[i] = op{rng.Intn(2) == 0, uint32(rng.Intn(n)), uint32(rng.Intn(n))}
+	}
+	ref := New(n, LinkSize, CompactNone, 0)
+	refAnswers := make([]bool, ops)
+	for i, o := range seq {
+		if o.unite {
+			ref.Unite(o.x, o.y)
+		} else {
+			refAnswers[i] = ref.SameSet(o.x, o.y)
+		}
+	}
+	refLabels := ref.CanonicalLabels()
+	for _, l := range allLinkings {
+		for _, c := range allCompactions {
+			d := New(n, l, c, 99)
+			for i, o := range seq {
+				if o.unite {
+					d.Unite(o.x, o.y)
+				} else if got := d.SameSet(o.x, o.y); got != refAnswers[i] {
+					t.Fatalf("%v/%v: op %d SameSet(%d,%d) = %v, ref %v", l, c, i, o.x, o.y, got, refAnswers[i])
+				}
+			}
+			labels := d.CanonicalLabels()
+			for i := range labels {
+				if labels[i] != refLabels[i] {
+					t.Fatalf("%v/%v: final partition differs at element %d", l, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomLinkingRespectsOrder(t *testing.T) {
+	// After any sequence of unions, every non-root must have id smaller than
+	// its parent's id (Lemma 3.1's sequential shadow).
+	d := New(100, LinkRandom, CompactSplitting, 5)
+	rng := randutil.NewXoshiro256(6)
+	for i := 0; i < 300; i++ {
+		d.Unite(uint32(rng.Intn(100)), uint32(rng.Intn(100)))
+	}
+	for x := uint32(0); x < 100; x++ {
+		p := d.Parent(x)
+		if p != x && d.ID(x) >= d.ID(p) {
+			t.Fatalf("node %d (id %d) has parent %d (id %d): order violated", x, d.ID(x), p, d.ID(p))
+		}
+	}
+}
+
+func TestRankNeverDecreasesAlongPath(t *testing.T) {
+	d := New(64, LinkRank, CompactNone, 0)
+	rng := randutil.NewXoshiro256(8)
+	for i := 0; i < 200; i++ {
+		d.Unite(uint32(rng.Intn(64)), uint32(rng.Intn(64)))
+	}
+	for x := uint32(0); x < 64; x++ {
+		p := d.Parent(x)
+		if p != x && d.aux[x] >= d.aux[p] {
+			t.Fatalf("rank did not increase from %d (r=%d) to parent %d (r=%d)", x, d.aux[x], p, d.aux[p])
+		}
+	}
+}
+
+func TestSizeInvariant(t *testing.T) {
+	d := New(64, LinkSize, CompactHalving, 0)
+	rng := randutil.NewXoshiro256(8)
+	for i := 0; i < 200; i++ {
+		d.Unite(uint32(rng.Intn(64)), uint32(rng.Intn(64)))
+	}
+	// Root sizes must sum to n.
+	total := int32(0)
+	for x := uint32(0); x < 64; x++ {
+		if d.Parent(x) == x {
+			total += d.aux[x]
+		}
+	}
+	if total != 64 {
+		t.Fatalf("root sizes sum to %d, want 64", total)
+	}
+}
+
+// deepestNode returns the node of maximum depth in d's current forest and
+// that depth (root depth 0).
+func deepestNode(d *DSU) (uint32, int) {
+	best, bestDepth := uint32(0), -1
+	for x := uint32(0); int(x) < d.N(); x++ {
+		depth := 0
+		for u := x; d.Parent(u) != u; u = d.Parent(u) {
+			depth++
+		}
+		if depth > bestDepth {
+			best, bestDepth = x, depth
+		}
+	}
+	return best, bestDepth
+}
+
+func TestCompactionShortensPaths(t *testing.T) {
+	// Binomial-style unions build trees of logarithmic depth; repeated finds
+	// from the deepest node must cost strictly less total work with any
+	// compaction rule than with none, because compaction shortens the path
+	// for later finds while "none" re-pays full depth every time.
+	const n, finds = 4096, 20
+	build := func(c Compaction) *DSU {
+		d := New(n, LinkRank, c, 0)
+		for gap := uint32(1); gap < n; gap *= 2 {
+			for i := uint32(0); i+gap < n; i += 2 * gap {
+				d.Unite(i, i+gap)
+			}
+		}
+		d.ResetWork()
+		return d
+	}
+	baseline := build(CompactNone)
+	deep, depth := deepestNode(baseline)
+	if depth < 5 {
+		t.Fatalf("binomial build produced depth %d, too shallow to test compaction", depth)
+	}
+	for i := 0; i < finds; i++ {
+		baseline.Find(deep)
+	}
+	base := baseline.Work().ParentReads
+	for _, c := range []Compaction{CompactCompression, CompactSplitting, CompactHalving} {
+		d := build(c)
+		deep, _ := deepestNode(d)
+		for i := 0; i < finds; i++ {
+			d.Find(deep)
+		}
+		if got := d.Work().ParentReads; got >= base {
+			t.Errorf("%v: repeated finds read %d parents, no better than none (%d)", c, got, base)
+		}
+	}
+}
+
+func TestWorkCounters(t *testing.T) {
+	d := New(4, LinkRank, CompactNone, 0)
+	d.Unite(0, 1)
+	d.Unite(2, 3)
+	d.Unite(0, 2)
+	w := d.Work()
+	if w.Links != 3 {
+		t.Errorf("Links = %d, want 3", w.Links)
+	}
+	if w.Finds != 6 {
+		t.Errorf("Finds = %d, want 6 (two per Unite)", w.Finds)
+	}
+	if w.ParentReads == 0 || w.ParentWrites != 3 {
+		t.Errorf("reads/writes = %d/%d, want reads > 0, writes = 3", w.ParentReads, w.ParentWrites)
+	}
+	d.ResetWork()
+	if d.Work() != (Work{}) {
+		t.Error("ResetWork did not zero counters")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"negative n", func() { New(-1, LinkRank, CompactNone, 0) }},
+		{"bad linking", func() { New(1, Linking(0), CompactNone, 0) }},
+		{"bad compaction", func() { New(1, LinkRank, Compaction(99), 0) }},
+		{"id on rank", func() { New(1, LinkRank, CompactNone, 0).ID(0) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestZeroElements(t *testing.T) {
+	d := New(0, LinkRandom, CompactSplitting, 0)
+	if d.N() != 0 || d.Sets() != 0 {
+		t.Fatal("empty structure misreports size")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LinkRandom.String() != "random" || LinkRank.String() != "rank" || LinkSize.String() != "size" {
+		t.Error("Linking names wrong")
+	}
+	if CompactNone.String() != "none" || CompactHalving.String() != "halving" {
+		t.Error("Compaction names wrong")
+	}
+	if Linking(0).String() == "" || Compaction(0).String() == "" {
+		t.Error("unknown values should still render")
+	}
+}
+
+func TestCanonicalizeParents(t *testing.T) {
+	// Forest: 1→0, 2→1 (set {0,1,2} rooted at 0); 4→5 (set {4,5}); 3 alone.
+	parent := []uint32{0, 0, 1, 3, 5, 5}
+	labels := CanonicalizeParents(parent)
+	want := []uint32{0, 0, 0, 3, 4, 4}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Errorf("labels[%d] = %d, want %d", i, labels[i], want[i])
+		}
+	}
+}
+
+// --- Spec oracle ---
+
+func TestSpecMatchesDSU(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := randutil.NewXoshiro256(seed)
+		const n = 30
+		s := NewSpec(n)
+		d := New(n, LinkRank, CompactCompression, 0)
+		for i := 0; i < 60; i++ {
+			x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				if s.Unite(x, y) != d.Unite(x, y) {
+					return false
+				}
+			} else if s.SameSet(x, y) != d.SameSet(x, y) {
+				return false
+			}
+		}
+		labels := d.CanonicalLabels()
+		for i, l := range s.Labels() {
+			if labels[i] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecCloneIndependent(t *testing.T) {
+	s := NewSpec(5)
+	s.Unite(0, 1)
+	c := s.Clone()
+	c.Unite(2, 3)
+	if s.SameSet(2, 3) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	if !c.SameSet(0, 1) {
+		t.Fatal("clone lost state")
+	}
+}
+
+func TestSpecFingerprint(t *testing.T) {
+	a, b := NewSpec(8), NewSpec(8)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical partitions, different fingerprints")
+	}
+	a.Unite(1, 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different partitions, same fingerprint")
+	}
+	b.Unite(2, 1) // same resulting partition
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("order of arguments changed fingerprint")
+	}
+	if !a.Equal(b) {
+		t.Fatal("Equal disagrees with fingerprint")
+	}
+}
+
+func BenchmarkSequentialUnions(b *testing.B) {
+	const n = 1 << 16
+	rng := randutil.NewXoshiro256(1)
+	xs := make([]uint32, n)
+	ys := make([]uint32, n)
+	for i := range xs {
+		xs[i], ys[i] = uint32(rng.Intn(n)), uint32(rng.Intn(n))
+	}
+	for _, l := range allLinkings {
+		for _, c := range allCompactions {
+			b.Run(l.String()+"/"+c.String(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d := New(n, l, c, 1)
+					for j := range xs {
+						d.Unite(xs[j], ys[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestSameSeedSameForest(t *testing.T) {
+	const n = 200
+	build := func() *DSU {
+		d := New(n, LinkRandom, CompactSplitting, 42)
+		rng := randutil.NewXoshiro256(7)
+		for i := 0; i < 600; i++ {
+			d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+		}
+		return d
+	}
+	a, b := build(), build()
+	for x := uint32(0); x < n; x++ {
+		if a.Parent(x) != b.Parent(x) || a.ID(x) != b.ID(x) {
+			t.Fatalf("same seed diverged at element %d", x)
+		}
+	}
+	if a.Work() != b.Work() {
+		t.Fatalf("same seed, different work: %+v vs %+v", a.Work(), b.Work())
+	}
+}

@@ -1,0 +1,82 @@
+package seqdsu
+
+import "repro/internal/randutil"
+
+// Spec is the minimal sequential specification of the set-union object:
+// a partition of 0..n−1 supporting SameSet and Unite, with cheap cloning
+// and fingerprinting. The linearizability checker executes candidate
+// orders against it, so it favours small state and fast copies over
+// asymptotic cleverness (the histories it sees are tiny).
+//
+// Representation: label[x] is the minimum element of x's set, maintained
+// eagerly. This makes SameSet O(1), Unite O(n), Clone O(n), and the
+// canonical fingerprint a plain hash of the label slice.
+type Spec struct {
+	label []uint32
+}
+
+// NewSpec returns the discrete partition over n elements.
+func NewSpec(n int) *Spec {
+	s := &Spec{label: make([]uint32, n)}
+	for i := range s.label {
+		s.label[i] = uint32(i)
+	}
+	return s
+}
+
+// N returns the number of elements.
+func (s *Spec) N() int { return len(s.label) }
+
+// SameSet reports whether x and y share a set.
+func (s *Spec) SameSet(x, y uint32) bool { return s.label[x] == s.label[y] }
+
+// Unite merges the sets of x and y, reporting whether a merge happened.
+func (s *Spec) Unite(x, y uint32) bool {
+	lx, ly := s.label[x], s.label[y]
+	if lx == ly {
+		return false
+	}
+	if ly < lx {
+		lx, ly = ly, lx
+	}
+	for i, l := range s.label {
+		if l == ly {
+			s.label[i] = lx
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s *Spec) Clone() *Spec {
+	label := make([]uint32, len(s.label))
+	copy(label, s.label)
+	return &Spec{label: label}
+}
+
+// Labels returns the canonical min-element labelling (shared backing array;
+// callers must not mutate it).
+func (s *Spec) Labels() []uint32 { return s.label }
+
+// Fingerprint returns a 64-bit hash identifying the partition, used as a
+// memoization key by the linearizability checker.
+func (s *Spec) Fingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV offset basis
+	for _, l := range s.label {
+		h = randutil.Mix64(h ^ uint64(l))
+	}
+	return h
+}
+
+// Equal reports whether two specs represent the same partition.
+func (s *Spec) Equal(o *Spec) bool {
+	if len(s.label) != len(o.label) {
+		return false
+	}
+	for i := range s.label {
+		if s.label[i] != o.label[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package seqdsu
+
+// Splicing is the fifth compaction method analyzed by Goel et al.
+// (SODA 2014) and discussed in Section 6 of Jayanti & Tarjan: a Unite
+// traverses its two find paths together, at each step redirecting the
+// smaller current node's parent onto the other path. It achieves the same
+// O(m·α(n, m/n)) bound sequentially, but the paper judges it dangerous to
+// run concurrently (it can splice two trees together before the Unite's
+// linearization point), so — unlike splitting and halving — it exists here
+// only as a sequential structure, and the concurrent packages deliberately
+// omit it.
+//
+// SplicingDSU supports randomized linking only: splicing's interleaved walk
+// needs a total order on nodes to decide which path to advance, and the
+// random order is the one the paper's analysis covers.
+type SplicingDSU struct {
+	parent []uint32
+	id     []uint32
+	work   Work
+	sets   int
+}
+
+// NewSplicing returns a splicing DSU over n singletons with the random
+// total order fixed by seed.
+func NewSplicing(n int, seed uint64) *SplicingDSU {
+	base := New(n, LinkRandom, CompactNone, seed)
+	return &SplicingDSU{
+		parent: base.parent,
+		id:     base.id,
+		sets:   n,
+	}
+}
+
+// N returns the number of elements.
+func (d *SplicingDSU) N() int { return len(d.parent) }
+
+// Sets returns the current number of sets.
+func (d *SplicingDSU) Sets() int { return d.sets }
+
+// Work returns accumulated work counters.
+func (d *SplicingDSU) Work() Work { return d.work }
+
+// Parent exposes the parent pointer of x for forest analysis.
+func (d *SplicingDSU) Parent(x uint32) uint32 { return d.parent[x] }
+
+// ID returns x's position in the random order.
+func (d *SplicingDSU) ID(x uint32) uint32 { return d.id[x] }
+
+// Find follows parents to the root without compaction (splicing compacts
+// only during Unite, which is where its one-pass interleaved walk lives).
+func (d *SplicingDSU) Find(x uint32) uint32 {
+	d.work.Finds++
+	for {
+		p := d.parent[x]
+		d.work.ParentReads++
+		if p == x {
+			return x
+		}
+		x = p
+	}
+}
+
+// SameSet reports whether x and y are in one set.
+func (d *SplicingDSU) SameSet(x, y uint32) bool { return d.Find(x) == d.Find(y) }
+
+// Unite merges the sets of x and y by splicing: ascend both find paths in
+// tandem, always advancing the walker with the smaller parent after
+// redirecting its parent onto the other walker's (strictly larger) parent —
+// every write moves a pointer upward in the order, which is the compaction
+// effect that gives splicing its O(m·α(n, m/n)) amortized bound with
+// randomized linking (Goel et al., SODA 2014). The walk stops when the two
+// parents coincide (same tree) or when the lower walker is a root, which is
+// then linked. Reports whether a link happened.
+func (d *SplicingDSU) Unite(x, y uint32) bool {
+	u, v := x, y
+	for {
+		pu := d.parent[u]
+		pv := d.parent[v]
+		d.work.ParentReads += 2
+		if pu == pv {
+			return false // common parent (or u == v): already one set
+		}
+		// Keep v the walker with the smaller parent.
+		if d.id[pu] < d.id[pv] {
+			u, v, pu, pv = v, u, pv, pu
+		}
+		if pv == v {
+			// v is a root strictly below pu: link it.
+			d.parent[v] = pu
+			d.work.ParentWrites++
+			d.work.Links++
+			d.sets--
+			return true
+		}
+		// Splice: hoist v's parent from pv up to pu and continue from pv.
+		d.parent[v] = pu
+		d.work.ParentWrites++
+		v = pv
+	}
+}

@@ -1,0 +1,125 @@
+package seqdsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/randutil"
+)
+
+func TestSplicingMatchesSpec(t *testing.T) {
+	const n, ops = 200, 800
+	d := NewSplicing(n, 5)
+	s := NewSpec(n)
+	rng := randutil.NewXoshiro256(6)
+	for i := 0; i < ops; i++ {
+		x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+		if rng.Intn(2) == 0 {
+			if d.Unite(x, y) != s.Unite(x, y) {
+				t.Fatalf("op %d: Unite(%d,%d) diverged", i, x, y)
+			}
+		} else if d.SameSet(x, y) != s.SameSet(x, y) {
+			t.Fatalf("op %d: SameSet(%d,%d) diverged", i, x, y)
+		}
+	}
+	labels := CanonicalizeParents(d.parent)
+	for i, want := range s.Labels() {
+		if labels[i] != want {
+			t.Fatalf("final partition differs at %d", i)
+		}
+	}
+	if d.Sets() != countSets(s) {
+		t.Fatalf("Sets = %d, want %d", d.Sets(), countSets(s))
+	}
+}
+
+func countSets(s *Spec) int {
+	seen := map[uint32]bool{}
+	for _, l := range s.Labels() {
+		seen[l] = true
+	}
+	return len(seen)
+}
+
+func TestSplicingQuick(t *testing.T) {
+	check := func(seed uint64) bool {
+		const n = 40
+		d := NewSplicing(n, seed)
+		s := NewSpec(n)
+		rng := randutil.NewXoshiro256(seed + 1)
+		for i := 0; i < 120; i++ {
+			x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				if d.Unite(x, y) != s.Unite(x, y) {
+					return false
+				}
+			} else if d.SameSet(x, y) != s.SameSet(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplicingIDOrderInvariant(t *testing.T) {
+	const n = 300
+	d := NewSplicing(n, 9)
+	rng := randutil.NewXoshiro256(10)
+	for i := 0; i < 1500; i++ {
+		d.Unite(uint32(rng.Intn(n)), uint32(rng.Intn(n)))
+	}
+	for x := uint32(0); x < n; x++ {
+		p := d.Parent(x)
+		if p != x && d.ID(x) >= d.ID(p) {
+			t.Fatalf("node %d (id %d) under parent %d (id %d)", x, d.ID(x), p, d.ID(p))
+		}
+	}
+}
+
+func TestSplicingAmortizedWork(t *testing.T) {
+	// Goel et al.'s bound is about the unites' own amortized cost: on a
+	// redundant-heavy random workload, splicing's work per Unite must beat
+	// no-compaction's and stay flat as n grows (the α(n, m/n) signature),
+	// because every splice hoists a parent pointer upward.
+	perOp := make(map[int]float64)
+	for _, n := range []int{1 << 12, 1 << 14} {
+		m := 8 * n
+		rng := randutil.NewXoshiro256(1)
+		splice := NewSplicing(n, 3)
+		plain := New(n, LinkRandom, CompactNone, 3)
+		for i := 0; i < m; i++ {
+			x, y := uint32(rng.Intn(n)), uint32(rng.Intn(n))
+			splice.Unite(x, y)
+			plain.Unite(x, y)
+		}
+		sp := float64(splice.Work().Total()) / float64(m)
+		pl := float64(plain.Work().Total()) / float64(m)
+		if sp*2 > pl {
+			t.Fatalf("n=%d: splicing %.2f/op not clearly below plain %.2f/op", n, sp, pl)
+		}
+		perOp[n] = sp
+	}
+	// Flatness: quadrupling n must not grow per-op work by more than 25%.
+	if perOp[1<<14] > 1.25*perOp[1<<12] {
+		t.Fatalf("splicing per-op work grows with n: %v", perOp)
+	}
+}
+
+func TestSplicingBasics(t *testing.T) {
+	d := NewSplicing(4, 1)
+	if d.N() != 4 || d.Sets() != 4 {
+		t.Fatal("bad initial state")
+	}
+	if !d.Unite(0, 1) || d.Unite(0, 1) {
+		t.Fatal("Unite return values wrong")
+	}
+	if !d.SameSet(0, 1) || d.SameSet(0, 2) {
+		t.Fatal("membership wrong")
+	}
+	if d.Work().Links != 1 {
+		t.Fatalf("Links = %d", d.Work().Links)
+	}
+}

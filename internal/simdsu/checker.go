@@ -1,0 +1,118 @@
+package simdsu
+
+import (
+	"fmt"
+
+	"repro/internal/apram"
+)
+
+// Checker validates the structural invariants of Lemma 3.1 on every single
+// shared-memory step of a run:
+//
+//  1. a link (CAS swinging a root's self-pointer) targets a node of larger
+//     id, and the linked node had never been linked before;
+//  2. a compaction CAS replaces a node's parent with a proper ancestor of
+//     that parent in the union forest (the forest formed by links alone);
+//  3. algorithms never plain-Write shared memory after initialization.
+//
+// The checker maintains the union forest incrementally from observed links,
+// so every check is exact at the step where it happens — a violation that a
+// final-state check could miss (because later steps repair it) is caught.
+type Checker struct {
+	sim         *Sim
+	unionParent []uint32
+	violations  []string
+}
+
+// NewChecker returns a checker for runs of s.
+func NewChecker(s *Sim) *Checker {
+	up := make([]uint32, s.n)
+	for i := range up {
+		up[i] = uint32(i)
+	}
+	return &Checker{sim: s, unionParent: up}
+}
+
+// Observe is the apram.Observer; install with Machine.SetObserver.
+func (c *Checker) Observe(st apram.Step) {
+	switch st.Kind {
+	case apram.OpRead:
+		return
+	case apram.OpWrite:
+		c.addf("step %d: process %d issued a plain write to %d", st.Index, st.Proc, st.Addr)
+		return
+	}
+	// CAS: only successful, value-changing ones mutate the structure.
+	if !st.OK || st.Before == st.After {
+		return
+	}
+	child := uint32(st.Addr)
+	oldp := uint32(st.Before)
+	newp := uint32(st.After)
+	if oldp == child {
+		// A link: child was a root making newp its parent.
+		if c.unionParent[child] != child {
+			c.addf("step %d: node %d linked twice", st.Index, child)
+			return
+		}
+		if c.sim.id[child] >= c.sim.id[newp] {
+			c.addf("step %d: link %d→%d violates id order (%d ≥ %d)",
+				st.Index, child, newp, c.sim.id[child], c.sim.id[newp])
+			return
+		}
+		if c.rootOf(newp) == child {
+			c.addf("step %d: link %d→%d creates a union-forest cycle", st.Index, child, newp)
+			return
+		}
+		c.unionParent[child] = newp
+		return
+	}
+	// A compaction: new parent must be a proper union-forest ancestor of
+	// the old parent.
+	if !c.properAncestor(oldp, newp) {
+		c.addf("step %d: compaction of %d moved parent %d to %d, not a proper ancestor",
+			st.Index, child, oldp, newp)
+	}
+}
+
+// rootOf walks the union forest to oldest ancestor.
+func (c *Checker) rootOf(x uint32) uint32 {
+	for c.unionParent[x] != x {
+		x = c.unionParent[x]
+	}
+	return x
+}
+
+// properAncestor reports whether anc is a proper ancestor of x in the union
+// forest.
+func (c *Checker) properAncestor(x, anc uint32) bool {
+	for c.unionParent[x] != x {
+		x = c.unionParent[x]
+		if x == anc {
+			return true
+		}
+	}
+	return false
+}
+
+// UnionParents returns the union forest accumulated so far (links only).
+func (c *Checker) UnionParents() []uint32 {
+	out := make([]uint32, len(c.unionParent))
+	copy(out, c.unionParent)
+	return out
+}
+
+func (c *Checker) addf(format string, args ...any) {
+	if len(c.violations) < 16 { // cap memory; the first violation is what matters
+		c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns nil if no violation was observed, or an error describing the
+// first violations.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("simdsu: %d invariant violations, first: %s", len(c.violations), c.violations[0])
+}

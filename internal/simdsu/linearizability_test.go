@@ -1,0 +1,84 @@
+package simdsu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linearize"
+	"repro/internal/randutil"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestLinearizabilityUnderRandomSchedules is experiment E13: every variant,
+// many random schedules, small dense histories, each checked exhaustively
+// against the sequential specification (Lemma 3.2 / Theorem 3.4).
+func TestLinearizabilityUnderRandomSchedules(t *testing.T) {
+	const (
+		n        = 8  // few elements → dense conflicts
+		procs    = 3  //
+		opsEach  = 4  // 12-op histories: cheap to check exhaustively
+		schedUps = 40 // random schedules per variant
+	)
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < schedUps; seed++ {
+				rng := randutil.NewXoshiro256(seed * 1000)
+				perProc := make([][]workload.Op, procs)
+				for i := range perProc {
+					perProc[i] = workload.Mixed(n, opsEach, 0.6, rng.Next())
+				}
+				res, err := Run(New(n, cfg), perProc, Options{
+					Scheduler:       sched.NewRandom(seed),
+					Record:          true,
+					CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if _, err := linearize.Check(n, res.History); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLinearizabilityUnderAdversarialSchedules repeats E13 under stalling
+// and heavily skewed schedulers, which produce the long-pause interleavings
+// where linearization-point bugs hide.
+func TestLinearizabilityUnderAdversarialSchedules(t *testing.T) {
+	const n, procs, opsEach = 6, 3, 4
+	variants := []core.Config{
+		{Find: core.FindTwoTry, Seed: 5},
+		{Find: core.FindOneTry, Seed: 5},
+		{Find: core.FindTwoTry, EarlyTermination: true, Seed: 5},
+	}
+	for _, cfg := range variants {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 25; seed++ {
+				rng := randutil.NewXoshiro256(seed)
+				perProc := make([][]workload.Op, procs)
+				for i := range perProc {
+					perProc[i] = workload.Mixed(n, opsEach, 0.7, rng.Next())
+				}
+				for name, s := range map[string]Options{
+					"stall":    {Scheduler: sched.NewStall(sched.NewRandom(seed), int(seed%procs)), Record: true, CheckInvariants: true},
+					"weighted": {Scheduler: sched.NewWeighted(seed, []float64{100, 1, 0.01}), Record: true, CheckInvariants: true},
+				} {
+					res, err := Run(New(n, cfg), perProc, s)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", name, seed, err)
+					}
+					if _, err := linearize.Check(n, res.History); err != nil {
+						t.Fatalf("%s seed %d: %v", name, seed, err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package simdsu
+
+import (
+	"fmt"
+
+	"repro/internal/apram"
+	"repro/internal/sched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Options configures a simulator run.
+type Options struct {
+	// Scheduler orders the shared-memory steps; nil defaults to round-robin.
+	Scheduler apram.Scheduler
+	// MaxSteps bounds total steps (≤ 0: a generous default of 10⁹). The
+	// machine panics past the bound, catching livelock.
+	MaxSteps int64
+	// Record captures an operation history for linearizability checking.
+	Record bool
+	// CheckInvariants installs the Lemma 3.1 checker on every step.
+	CheckInvariants bool
+	// Setup runs to completion on a dedicated single-process machine before
+	// the measured phase; its steps are not counted in Result.Total.
+	Setup []workload.Op
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Answers[i][k] is the result of perProc[i][k]: for OpUnite whether the
+	// process performed the link, for OpSameSet the membership answer.
+	Answers [][]bool
+	// History is the recorded operation history (nil unless Options.Record).
+	History trace.History
+	// Steps is the per-process shared-memory step count; Total their sum.
+	Steps []int64
+	Total int64
+	// Parents is the final parent array.
+	Parents []uint32
+	// SetupSteps is the step count of the setup phase (excluded from Total).
+	SetupSteps int64
+}
+
+// Run executes perProc[i] on process i under the given options and returns
+// the outcome. The same Sim may be reused across runs; each run gets fresh
+// memory initialized by Setup (if any) and Init.
+func Run(s *Sim, perProc [][]workload.Op, opts Options) (Result, error) {
+	if opts.Scheduler == nil {
+		opts.Scheduler = sched.NewRoundRobin()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000_000
+	}
+
+	var res Result
+
+	// Setup phase: single process, round-robin (the order is irrelevant for
+	// one process), memory carried into the measured machine.
+	mem := make([]uint64, s.Words())
+	s.Init(mem)
+	if len(opts.Setup) > 0 {
+		sm := apram.NewMachine(s.Words(), sched.NewRoundRobin(), maxSteps)
+		copy(sm.Mem(), mem)
+		ops := opts.Setup
+		sm.AddProgram(func(p *apram.P) {
+			for _, op := range ops {
+				s.apply(p, op)
+			}
+		})
+		res.SetupSteps = sm.Run()
+		copy(mem, sm.Mem())
+	}
+
+	m := apram.NewMachine(s.Words(), opts.Scheduler, maxSteps)
+	copy(m.Mem(), mem)
+
+	var checker *Checker
+	if opts.CheckInvariants {
+		checker = NewChecker(s)
+		m.SetObserver(checker.Observe)
+	}
+	var rec *trace.Recorder
+	if opts.Record {
+		rec = trace.NewRecorder(len(perProc))
+	}
+
+	res.Answers = make([][]bool, len(perProc))
+	for i, ops := range perProc {
+		i, ops := i, ops
+		res.Answers[i] = make([]bool, len(ops))
+		m.AddProgram(func(p *apram.P) {
+			for k, op := range ops {
+				inv := p.Tick()
+				ans := s.apply(p, op)
+				res.Answers[i][k] = ans
+				if rec != nil {
+					rec.Record(i, trace.Event{
+						Proc: i, Kind: op.Kind, X: op.X, Y: op.Y,
+						Result: ans, Inv: inv, Resp: p.Tick(),
+					})
+				}
+			}
+		})
+	}
+	res.Total = m.Run()
+	res.Steps = m.Steps()
+	res.Parents = s.ParentsFromMem(m.Mem())
+	if rec != nil {
+		res.History = rec.History()
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// apply executes one operation via process p.
+func (s *Sim) apply(p *apram.P, op workload.Op) bool {
+	switch op.Kind {
+	case workload.OpUnite:
+		return s.Unite(p, op.X, op.Y)
+	case workload.OpSameSet:
+		return s.SameSet(p, op.X, op.Y)
+	default:
+		panic(fmt.Sprintf("simdsu: unknown op kind %d", op.Kind))
+	}
+}

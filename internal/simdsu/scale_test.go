@@ -1,0 +1,93 @@
+package simdsu
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linearize"
+	"repro/internal/sched"
+	"repro/internal/seqdsu"
+	"repro/internal/workload"
+)
+
+// TestInvariantsAtScale pushes the per-step checker through a run an order
+// of magnitude larger than the quick tests: n=1024, m=16384, p=16, every
+// variant, random scheduling. Skipped under -short.
+func TestInvariantsAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	const n, m, p = 1024, 16384, 16
+	for _, cfg := range allConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			t.Parallel()
+			ops := workload.Mixed(n, m, 0.5, 101)
+			res, err := Run(New(n, cfg), workload.SplitRoundRobin(ops, p), Options{
+				Scheduler:       sched.NewRandom(7),
+				MaxSteps:        50_000_000,
+				CheckInvariants: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := seqdsu.NewSpec(n)
+			for _, op := range ops {
+				if op.Kind == workload.OpUnite {
+					spec.Unite(op.X, op.Y)
+				}
+			}
+			got := seqdsu.CanonicalizeParents(res.Parents)
+			for i, want := range spec.Labels() {
+				if got[i] != want {
+					t.Fatalf("partition differs at %d", i)
+				}
+			}
+			// Work balance: with a fair random scheduler and a round-robin
+			// op split, no process should do the lion's share of steps.
+			var max, total int64
+			for _, s := range res.Steps {
+				total += s
+				if s > max {
+					max = s
+				}
+			}
+			if max*2 > total {
+				t.Fatalf("one process did %d of %d steps: starvation artefact", max, total)
+			}
+		})
+	}
+}
+
+// TestLinearizabilityWiderHistories checks 16-op histories (4 procs × 4
+// ops), the checker's comfortable upper range, across the core variants.
+// Skipped under -short.
+func TestLinearizabilityWiderHistories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short")
+	}
+	const n, procs, opsEach = 10, 4, 4
+	for _, find := range []core.Find{core.FindOneTry, core.FindTwoTry} {
+		find := find
+		t.Run(find.String(), func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(0); seed < 60; seed++ {
+				perProc := make([][]workload.Op, procs)
+				for i := range perProc {
+					perProc[i] = workload.Mixed(n, opsEach, 0.6, seed*31+uint64(i))
+				}
+				res, err := Run(New(n, core.Config{Find: find, Seed: seed}), perProc, Options{
+					Scheduler:       sched.NewRandom(seed),
+					Record:          true,
+					CheckInvariants: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if _, err := linearize.Check(n, res.History); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

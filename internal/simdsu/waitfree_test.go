@@ -1,0 +1,178 @@
+package simdsu
+
+import (
+	"testing"
+
+	"repro/internal/apram"
+	"repro/internal/core"
+	"repro/internal/forest"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// TestWaitFreedomStepBound quantifies Lemma 3.3: every individual SameSet
+// or Unite finishes in O(h+1) of its own shared-memory steps, where h is
+// the union-forest height — regardless of scheduling. We run under fair,
+// stalling, and heavily skewed schedulers, measure every operation's exact
+// step count, and assert it against c·(h+2) with a generous constant. A
+// blocking (non-wait-free) implementation would show unbounded per-op
+// steps under the stall scheduler.
+func TestWaitFreedomStepBound(t *testing.T) {
+	const (
+		n     = 256
+		m     = 1200
+		procs = 6
+		c     = 12 // constant for the O(h+1) bound; generous but finite
+	)
+	for _, find := range []core.Find{core.FindNaive, core.FindTwoTry} {
+		for schedName, mk := range map[string]func() apram.Scheduler{
+			"random":   func() apram.Scheduler { return sched.NewRandom(3) },
+			"stall":    func() apram.Scheduler { return sched.NewStall(sched.NewRandom(4), 0, 1) },
+			"weighted": func() apram.Scheduler { return sched.NewWeighted(5, []float64{64, 16, 4, 1, 0.25, 0.0625}) },
+		} {
+			find, mk := find, mk
+			t.Run(find.String()+"/"+schedName, func(t *testing.T) {
+				t.Parallel()
+				s := New(n, core.Config{Find: find, Seed: 11})
+				machine := apram.NewMachine(s.Words(), mk(), 10_000_000)
+				s.Init(machine.Mem())
+				checker := NewChecker(s)
+				machine.SetObserver(checker.Observe)
+
+				perProc := workload.SplitRoundRobin(workload.Mixed(n, m, 0.5, 21), procs)
+				type opCost struct {
+					op    workload.Op
+					steps int64
+				}
+				costs := make([][]opCost, procs)
+				for i := 0; i < procs; i++ {
+					i := i
+					ops := perProc[i]
+					machine.AddProgram(func(p *apram.P) {
+						for _, op := range ops {
+							before := p.StepsTaken()
+							s.apply(p, op)
+							costs[i] = append(costs[i], opCost{op, p.StepsTaken() - before})
+						}
+					})
+				}
+				machine.Run()
+				if err := checker.Err(); err != nil {
+					t.Fatal(err)
+				}
+				h := forest.Height(checker.UnionParents())
+				bound := int64(c * (h + 2))
+				var worst int64
+				for i := range costs {
+					for _, oc := range costs[i] {
+						if oc.steps > worst {
+							worst = oc.steps
+						}
+						if oc.steps > bound {
+							t.Fatalf("op %v took %d steps > bound %d (h=%d)", oc.op, oc.steps, bound, h)
+						}
+					}
+				}
+				if worst == 0 {
+					t.Fatal("no operation took any step; workload broken")
+				}
+				t.Logf("union forest height %d; worst op %d steps; bound %d", h, worst, bound)
+			})
+		}
+	}
+}
+
+// TestCrashSweepEveryPrefix injects a crash-stop at every possible point of
+// a process's execution: the victim runs only its first k shared-memory
+// steps of a Unite and then abandons it, for every k. The survivors'
+// partition must equal the closure of the survivor unions plus whatever the
+// victim managed to link, and all invariants must hold — there is no k at
+// which a half-done operation can corrupt the structure.
+func TestCrashSweepEveryPrefix(t *testing.T) {
+	const n = 24
+	survivors := workload.RandomUnions(n, 40, 31)
+	// Establish the victim's total step count when run to completion.
+	full := runCrashScenario(t, n, survivors, 1<<30)
+	if full.victimSteps == 0 {
+		t.Fatal("victim took no steps")
+	}
+	for k := int64(0); k <= full.victimSteps; k++ {
+		res := runCrashScenario(t, n, survivors, k)
+		// Survivor unions must always be present.
+		for _, op := range survivors {
+			if res.labels[op.X] != res.labels[op.Y] {
+				t.Fatalf("crash at step %d: survivor union %v lost", k, op)
+			}
+		}
+		// The victim's pair may or may not be united; both are legal. What
+		// is illegal is any invariant violation, which runCrashScenario
+		// already failed on.
+	}
+}
+
+type crashResult struct {
+	victimSteps int64
+	labels      []uint32
+}
+
+// runCrashScenario runs 2 survivor processes plus a victim that executes
+// Unite(0, n-1) but crash-stops after maxVictimSteps shared-memory steps
+// (via the machine's step-limit fault injector).
+func runCrashScenario(t *testing.T, n int, survivors []workload.Op, maxVictimSteps int64) crashResult {
+	t.Helper()
+	s := New(n, core.Config{Find: core.FindTwoTry, Seed: 77})
+	machine := apram.NewMachine(s.Words(), sched.NewRandom(9), 10_000_000)
+	s.Init(machine.Mem())
+	checker := NewChecker(s)
+	machine.SetObserver(checker.Observe)
+
+	var victimSteps int64
+	victim := machine.AddProgram(func(p *apram.P) {
+		defer func() { victimSteps = p.StepsTaken() }() // runs even while crashing
+		s.Unite(p, 0, uint32(n-1))
+	})
+	if maxVictimSteps < 1<<30 {
+		machine.SetStepLimit(victim, maxVictimSteps)
+	}
+	for w, ops := range workload.SplitRoundRobin(survivors, 2) {
+		_ = w
+		ops := ops
+		machine.AddProgram(func(p *apram.P) {
+			for _, op := range ops {
+				s.apply(p, op)
+			}
+		})
+	}
+	machine.Run()
+	if err := checker.Err(); err != nil {
+		t.Fatalf("crash at %d steps: %v", maxVictimSteps, err)
+	}
+	parents := s.ParentsFromMem(machine.Mem())
+	return crashResult{victimSteps: victimSteps, labels: canonicalLabels(parents)}
+}
+
+func canonicalLabels(parent []uint32) []uint32 {
+	n := len(parent)
+	root := make([]uint32, n)
+	for i := range root {
+		x := uint32(i)
+		for parent[x] != x {
+			x = parent[x]
+		}
+		root[i] = x
+	}
+	minOf := make([]uint32, n)
+	for i := range minOf {
+		minOf[i] = ^uint32(0)
+	}
+	for i := 0; i < n; i++ {
+		if r := root[i]; uint32(i) < minOf[r] {
+			minOf[r] = uint32(i)
+		}
+	}
+	labels := make([]uint32, n)
+	for i := range labels {
+		labels[i] = minOf[root[i]]
+	}
+	return labels
+}

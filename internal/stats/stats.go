@@ -1,0 +1,260 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: summary statistics, simple least-squares fits (for
+// height ≈ c·lg n style checks), histograms, and fixed-width table
+// rendering for experiment output.
+//
+// Nothing here is approximate in a hidden way: every function computes the
+// textbook formula so experiment tables are auditable by hand.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted sample
+// using linear interpolation between closest ranks. It panics on an empty
+// sample or q outside [0, 1].
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: Quantile with q outside [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs; it panics on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty sample")
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Fit holds the result of a simple least-squares line fit y ≈ a + b·x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y ≈ a + b·x by ordinary least squares. It panics if the
+// slices differ in length or have fewer than two points, or if all x are
+// identical (the slope is undefined).
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := 0.0
+		for i := range x {
+			r := y[i] - (a + b*x[i])
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2}
+}
+
+// LogFit fits y ≈ a + b·lg(x), the model for "height grows logarithmically"
+// claims. It panics under the same conditions as LinearFit or if any x ≤ 0.
+func LogFit(x, y []float64) Fit {
+	lx := make([]float64, len(x))
+	for i, v := range x {
+		if v <= 0 {
+			panic("stats: LogFit with non-positive x")
+		}
+		lx[i] = math.Log2(v)
+	}
+	return LinearFit(lx, y)
+}
+
+// Histogram counts values into width-1 integer buckets starting at 0; values
+// at or above len(buckets)−1 land in the final overflow bucket.
+func Histogram(values []int, buckets int) []int {
+	if buckets <= 0 {
+		panic("stats: Histogram with no buckets")
+	}
+	h := make([]int, buckets)
+	for _, v := range values {
+		switch {
+		case v < 0:
+			panic("stats: Histogram of negative value")
+		case v >= buckets-1:
+			h[buckets-1]++
+		default:
+			h[v]++
+		}
+	}
+	return h
+}
+
+// Table accumulates rows and renders a fixed-width text table; the
+// experiment harness uses it for every printed result so EXPERIMENTS.md and
+// CLI output share formatting.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row by applying fmt.Sprint to each value, with floats
+// rendered compactly.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, FormatFloat(v))
+		case float32:
+			row = append(row, FormatFloat(float64(v)))
+		default:
+			row = append(row, fmt.Sprint(c))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table in GitHub-flavoured Markdown, column-aligned.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var out []byte
+	writeRow := func(cells []string) {
+		out = append(out, '|')
+		for i, c := range cells {
+			out = append(out, ' ')
+			out = append(out, c...)
+			for p := len(c); p < widths[i]; p++ {
+				out = append(out, ' ')
+			}
+			out = append(out, ' ', '|')
+		}
+		out = append(out, '\n')
+	}
+	writeRow(t.header)
+	out = append(out, '|')
+	for _, w := range widths {
+		for p := 0; p < w+2; p++ {
+			out = append(out, '-')
+		}
+		out = append(out, '|')
+	}
+	out = append(out, '\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return string(out)
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with three significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 1000 {
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev with n−1 = 7: Σ(x−5)² = 9+1+1+1+0+0+4+16 = 32; √(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.StdDev, want, 1e-12) {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.StdDev != 0 || s.Median != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileBoundsPanic(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(q=%v) did not panic", q)
+				}
+			}()
+			Quantile([]float64{1, 2}, q)
+		}()
+	}
+}
+
+func TestMeanMatchesSummarize(t *testing.T) {
+	check := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		return almostEqual(Mean(xs), Summarize(xs).Mean, 1e-9)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	// y = 3 + 2x fits exactly: R² = 1, coefficients recovered.
+	x := []float64{0, 1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 + 2*x[i]
+	}
+	f := LinearFit(x, y)
+	if !almostEqual(f.Intercept, 3, 1e-9) || !almostEqual(f.Slope, 2, 1e-9) || !almostEqual(f.R2, 1, 1e-9) {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	// Symmetric noise around y = 1 + x leaves the coefficients unchanged.
+	x := []float64{0, 0, 1, 1, 2, 2}
+	y := []float64{0.5, 1.5, 1.5, 2.5, 2.5, 3.5}
+	f := LinearFit(x, y)
+	if !almostEqual(f.Slope, 1, 1e-9) || !almostEqual(f.Intercept, 1, 1e-9) {
+		t.Errorf("fit = %+v", f)
+	}
+	if f.R2 >= 1 || f.R2 <= 0 {
+		t.Errorf("R² = %v should be strictly inside (0,1) for noisy data", f.R2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+	}{
+		{"mismatch", []float64{1, 2}, []float64{1}},
+		{"short", []float64{1}, []float64{1}},
+		{"constant-x", []float64{2, 2, 2}, []float64{1, 2, 3}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", c.name)
+				}
+			}()
+			LinearFit(c.x, c.y)
+		}()
+	}
+}
+
+func TestLogFitRecoversLogModel(t *testing.T) {
+	// y = 2 + 3·lg(x).
+	x := []float64{1, 2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 2 + 3*math.Log2(x[i])
+	}
+	f := LogFit(x, y)
+	if !almostEqual(f.Slope, 3, 1e-9) || !almostEqual(f.Intercept, 2, 1e-9) {
+		t.Errorf("fit = %+v", f)
+	}
+}
+
+func TestLogFitRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	LogFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{0, 0, 1, 3, 9, 100}, 5)
+	want := []int{2, 1, 0, 1, 2} // 9 and 100 overflow into the last bucket
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, h[i], want[i])
+		}
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for zero buckets")
+			}
+		}()
+		Histogram([]int{1}, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for negative value")
+			}
+		}()
+		Histogram([]int{-1}, 3)
+	}()
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("n", "height", "c")
+	tb.AddRowf(1024, 14, 1.4)
+	tb.AddRowf(2048, 15.5, 1.409)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "height") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "|--") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "1024") || !strings.Contains(lines[2], "1.400") {
+		t.Errorf("row rendering wrong: %q", lines[2])
+	}
+	// Markdown alignment: every line has the same number of pipes.
+	pipes := strings.Count(lines[0], "|")
+	for _, l := range lines[1:] {
+		if strings.Count(l, "|") != pipes {
+			t.Errorf("ragged table line: %q", l)
+		}
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("only")
+	if out := tb.String(); !strings.Contains(out, "only") {
+		t.Errorf("short row lost: %s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{5, "5"}, {-3, "-3"}, {0.5, "0.500"}, {1234.56, "1234.6"}, {1e6, "1000000"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.v); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package trace defines concurrent operation histories: per-operation
+// invocation/response timestamps and results, recorded from simulator runs
+// and consumed by the linearizability checker.
+//
+// Timestamps come from the APRAM's logical event clock (P.Tick): globally
+// unique values whose order is consistent with real time, so operation o1
+// really-precedes o2 exactly when o1.Resp < o2.Inv. (Uniqueness matters:
+// operations that complete without any shared-memory step would otherwise
+// get zero-length intervals that tie with neighbours and create spurious
+// mutual precedence.)
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Event is one completed operation in a history.
+type Event struct {
+	Proc   int             // process that ran the operation
+	Kind   workload.OpKind // OpUnite or OpSameSet
+	X, Y   uint32          // arguments
+	Result bool            // Unite: link performed; SameSet: answer
+	Inv    int64           // global step count at invocation
+	Resp   int64           // global step count at response
+}
+
+// String renders the event for failure messages.
+func (e Event) String() string {
+	return fmt.Sprintf("p%d %v=%v @[%d,%d]", e.Proc, workload.Op{Kind: e.Kind, X: e.X, Y: e.Y}, e.Result, e.Inv, e.Resp)
+}
+
+// History is a set of completed operations observed in one run.
+type History []Event
+
+// Sort orders the history by invocation time (then response, then process),
+// the canonical order for display and for checker determinism.
+func (h History) Sort() {
+	sort.Slice(h, func(i, j int) bool {
+		if h[i].Inv != h[j].Inv {
+			return h[i].Inv < h[j].Inv
+		}
+		if h[i].Resp != h[j].Resp {
+			return h[i].Resp < h[j].Resp
+		}
+		return h[i].Proc < h[j].Proc
+	})
+}
+
+// Precedes reports whether event i really-precedes event j: i's response
+// tick is smaller than j's invocation tick.
+func (h History) Precedes(i, j int) bool { return h[i].Resp < h[j].Inv }
+
+// Validate performs sanity checks on the history itself: non-negative
+// timestamps, Inv ≤ Resp, and per-process operations sequential and
+// non-overlapping. The checker requires a valid history.
+func (h History) Validate() error {
+	lastResp := map[int]int64{}
+	sorted := append(History(nil), h...)
+	sorted.Sort()
+	for i, e := range sorted {
+		if e.Inv < 0 || e.Resp < e.Inv {
+			return fmt.Errorf("trace: event %d has bad interval [%d,%d]", i, e.Inv, e.Resp)
+		}
+		if last, seen := lastResp[e.Proc]; seen && e.Inv < last {
+			return fmt.Errorf("trace: process %d operations overlap (inv %d < previous resp %d)", e.Proc, e.Inv, last)
+		}
+		lastResp[e.Proc] = e.Resp
+	}
+	return nil
+}
+
+// Recorder collects events from concurrently running simulator processes.
+// Each process appends to its own lane (no locking needed: lanes are
+// per-process), and Snapshot merges them after the run.
+type Recorder struct {
+	lanes [][]Event
+}
+
+// NewRecorder returns a recorder for p processes.
+func NewRecorder(p int) *Recorder {
+	return &Recorder{lanes: make([][]Event, p)}
+}
+
+// Record appends an event to proc's lane. Only proc's own goroutine may
+// call it with that id.
+func (r *Recorder) Record(proc int, e Event) {
+	r.lanes[proc] = append(r.lanes[proc], e)
+}
+
+// History merges all lanes into one sorted history. Call after the run.
+func (r *Recorder) History() History {
+	var h History
+	for _, lane := range r.lanes {
+		h = append(h, lane...)
+	}
+	h.Sort()
+	return h
+}

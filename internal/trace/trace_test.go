@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func ev(proc int, inv, resp int64) Event {
+	return Event{Proc: proc, Kind: workload.OpSameSet, X: 0, Y: 1, Inv: inv, Resp: resp}
+}
+
+func TestSortStable(t *testing.T) {
+	h := History{ev(2, 5, 6), ev(0, 1, 2), ev(1, 3, 4)}
+	h.Sort()
+	if h[0].Proc != 0 || h[1].Proc != 1 || h[2].Proc != 2 {
+		t.Fatalf("sorted order wrong: %v", h)
+	}
+}
+
+func TestPrecedesStrict(t *testing.T) {
+	h := History{ev(0, 1, 2), ev(1, 3, 4), ev(2, 2, 5)}
+	if !h.Precedes(0, 1) {
+		t.Error("1<3 should precede")
+	}
+	if h.Precedes(0, 2) {
+		t.Error("resp 2 == inv 2 must NOT precede (strict)")
+	}
+	if h.Precedes(1, 0) {
+		t.Error("reverse precedence")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := History{ev(0, 1, 2), ev(0, 3, 4), ev(1, 1, 9)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	bad := History{ev(0, 5, 3)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("reversed interval accepted")
+	}
+	overlap := History{ev(0, 1, 10), ev(0, 5, 12)}
+	if err := overlap.Validate(); err == nil {
+		t.Fatal("same-process overlap accepted")
+	}
+	neg := History{ev(0, -1, 2)}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative timestamp accepted")
+	}
+}
+
+func TestRecorderMergesLanes(t *testing.T) {
+	r := NewRecorder(3)
+	r.Record(2, ev(2, 5, 6))
+	r.Record(0, ev(0, 1, 2))
+	r.Record(0, ev(0, 7, 8))
+	h := r.History()
+	if len(h) != 3 {
+		t.Fatalf("history length %d", len(h))
+	}
+	if h[0].Inv != 1 || h[1].Inv != 5 || h[2].Inv != 7 {
+		t.Fatalf("merged order wrong: %v", h)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Proc: 1, Kind: workload.OpUnite, X: 2, Y: 3, Result: true, Inv: 4, Resp: 5}
+	s := e.String()
+	for _, want := range []string{"p1", "Unite(2,3)", "true", "[4,5]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

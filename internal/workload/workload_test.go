@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/forest"
+	"repro/internal/seqdsu"
+)
+
+func applyAll(d *seqdsu.DSU, ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpUnite:
+			d.Unite(op.X, op.Y)
+		case OpSameSet:
+			d.SameSet(op.X, op.Y)
+		}
+	}
+}
+
+func TestRandomUnionsShape(t *testing.T) {
+	ops := RandomUnions(100, 250, 1)
+	if len(ops) != 250 {
+		t.Fatalf("len = %d", len(ops))
+	}
+	for i, op := range ops {
+		if op.Kind != OpUnite {
+			t.Fatalf("op %d kind %v", i, op.Kind)
+		}
+		if op.X >= 100 || op.Y >= 100 {
+			t.Fatalf("op %d out of range: %v", i, op)
+		}
+	}
+	// Deterministic per seed, different across seeds.
+	same := RandomUnions(100, 250, 1)
+	diff := RandomUnions(100, 250, 2)
+	identical := true
+	for i := range ops {
+		if ops[i] != same[i] {
+			t.Fatal("same seed produced different workload")
+		}
+		if ops[i] != diff[i] {
+			identical = false
+		}
+	}
+	if identical {
+		t.Fatal("different seeds produced identical workload")
+	}
+}
+
+func TestMixedFractions(t *testing.T) {
+	ops := Mixed(50, 10000, 0.3, 7)
+	unions := 0
+	for _, op := range ops {
+		if op.Kind == OpUnite {
+			unions++
+		}
+	}
+	if frac := float64(unions) / 10000; frac < 0.25 || frac > 0.35 {
+		t.Errorf("union fraction %.3f far from 0.3", frac)
+	}
+	for _, bad := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mixed(frac=%v) did not panic", bad)
+				}
+			}()
+			Mixed(10, 10, bad, 0)
+		}()
+	}
+}
+
+func TestZipfMixedSkew(t *testing.T) {
+	ops := ZipfMixed(1000, 20000, 0.5, 1.2, 3)
+	counts := make([]int, 1000)
+	for _, op := range ops {
+		counts[op.X]++
+		counts[op.Y]++
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("expected element 0 hotter than element 500: %d vs %d", counts[0], counts[500])
+	}
+}
+
+func TestChainAndStarConnect(t *testing.T) {
+	for name, gen := range map[string]func(int) []Op{"chain": Chain, "star": Star} {
+		ops := gen(64)
+		if len(ops) != 63 {
+			t.Errorf("%s: %d ops, want 63", name, len(ops))
+		}
+		d := seqdsu.New(64, seqdsu.LinkRank, seqdsu.CompactHalving, 0)
+		applyAll(d, ops)
+		if d.Sets() != 1 {
+			t.Errorf("%s: %d sets after full application", name, d.Sets())
+		}
+	}
+}
+
+// TestBinomialPairingDepth verifies the Lemma 5.3 guarantee empirically:
+// after the construction, average node depth is at least (lg k)/4 even when
+// every find splits.
+func TestBinomialPairingDepth(t *testing.T) {
+	for _, k := range []int{16, 64, 256, 1024, 4096} {
+		ops := BinomialPairing(0, k)
+		d := seqdsu.New(k, seqdsu.LinkRandom, seqdsu.CompactSplitting, 99)
+		applyAll(d, ops)
+		if d.Sets() != 1 {
+			t.Fatalf("k=%d: construction left %d sets", k, d.Sets())
+		}
+		parent := make([]uint32, k)
+		for x := uint32(0); x < uint32(k); x++ {
+			parent[x] = d.Parent(x)
+		}
+		avg := forest.AvgDepth(parent)
+		lg := 0.0
+		for v := k; v > 1; v >>= 1 {
+			lg++
+		}
+		if avg < lg/4 {
+			t.Errorf("k=%d: average depth %.2f below (lg k)/4 = %.2f", k, avg, lg/4)
+		}
+	}
+}
+
+func TestBinomialPairingNonPowerOfTwo(t *testing.T) {
+	for _, k := range []int{3, 5, 100, 777} {
+		ops := BinomialPairing(10, k)
+		d := seqdsu.New(10+k, seqdsu.LinkRandom, seqdsu.CompactSplitting, 1)
+		applyAll(d, ops)
+		// All k elements in [10, 10+k) united; elements below untouched.
+		for x := uint32(10); x < uint32(10+k); x++ {
+			if !d.SameSet(10, x) {
+				t.Fatalf("k=%d: element %d not united", k, x)
+			}
+		}
+		if d.SameSet(0, 10) {
+			t.Fatalf("k=%d: construction leaked outside its block", k)
+		}
+	}
+}
+
+func TestLowerBoundWorkloadShape(t *testing.T) {
+	const n, p, delta = 1 << 10, 4, 1 << 5
+	w := LowerBound(n, p, delta, 5)
+	if len(w.PerProc) != p {
+		t.Fatalf("PerProc count %d", len(w.PerProc))
+	}
+	trees := n / delta
+	for i, ops := range w.PerProc {
+		if len(ops) != trees {
+			t.Fatalf("process %d has %d ops, want %d", i, len(ops), trees)
+		}
+		for _, op := range ops {
+			if op.Kind != OpSameSet || op.X != op.Y {
+				t.Fatalf("process %d: non-self-SameSet op %v", i, op)
+			}
+			if int(op.X) >= n {
+				t.Fatalf("query element %d out of range", op.X)
+			}
+		}
+	}
+	if w.Ops() != p*trees {
+		t.Fatalf("Ops() = %d, want %d", w.Ops(), p*trees)
+	}
+	// Setup builds exactly n/δ disjoint δ-trees.
+	d := seqdsu.New(n, seqdsu.LinkRandom, seqdsu.CompactSplitting, 2)
+	applyAll(d, w.Setup)
+	if d.Sets() != trees {
+		t.Fatalf("setup left %d sets, want %d", d.Sets(), trees)
+	}
+	// Each query element stays inside its own tree.
+	for tr := 0; tr < trees; tr++ {
+		q := w.PerProc[0][tr]
+		if !d.SameSet(q.X, uint32(tr*delta)) {
+			t.Fatalf("query %d not in tree %d", q.X, tr)
+		}
+	}
+}
+
+func TestLowerBoundPanics(t *testing.T) {
+	cases := []func(){
+		func() { LowerBound(8, 0, 2, 1) },
+		func() { LowerBound(8, 1, 3, 1) }, // 3 does not divide 8
+		func() { LowerBound(8, 1, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSplitRoundRobinAndBlocks(t *testing.T) {
+	ops := RandomUnions(10, 10, 1)
+	rr := SplitRoundRobin(ops, 3)
+	if len(rr) != 3 || len(rr[0]) != 4 || len(rr[1]) != 3 || len(rr[2]) != 3 {
+		t.Fatalf("round robin sizes: %d/%d/%d", len(rr[0]), len(rr[1]), len(rr[2]))
+	}
+	if rr[1][0] != ops[1] || rr[2][1] != ops[5] {
+		t.Fatal("round robin order wrong")
+	}
+	bl := SplitBlocks(ops, 3)
+	if len(bl[0]) != 4 || len(bl[1]) != 4 || len(bl[2]) != 2 {
+		t.Fatalf("block sizes: %d/%d/%d", len(bl[0]), len(bl[1]), len(bl[2]))
+	}
+	if bl[0][0] != ops[0] || bl[2][0] != ops[8] {
+		t.Fatal("block order wrong")
+	}
+	// Everything distributed exactly once.
+	total := 0
+	for _, part := range [][][]Op{rr, bl} {
+		for _, ops := range part {
+			total += len(ops)
+		}
+	}
+	if total != 20 {
+		t.Fatalf("split lost or duplicated ops: %d", total)
+	}
+}
+
+func TestSplitPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { SplitRoundRobin(nil, 0) },
+		func() { SplitBlocks(nil, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if s := (Op{OpUnite, 1, 2}).String(); !strings.Contains(s, "Unite") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Op{OpSameSet, 1, 2}).String(); !strings.Contains(s, "SameSet") {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Op{OpKind(9), 1, 2}).String(); s == "" {
+		t.Error("unknown kind renders empty")
+	}
+}
+
+func TestGeneratorPanicsOnBadSizes(t *testing.T) {
+	for i, fn := range []func(){
+		func() { RandomUnions(0, 5, 1) },
+		func() { RandomUnions(5, -1, 1) },
+		func() { Chain(0) },
+		func() { BinomialPairing(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
