@@ -9,6 +9,7 @@ import (
 	"repro/internal/ackermann"
 	"repro/internal/aw"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/forest"
 	"repro/internal/sched"
 	"repro/internal/seqdsu"
@@ -311,6 +312,23 @@ func BenchmarkE12Dynamic(b *testing.B) {
 		}
 		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
 	})
+}
+
+// BenchmarkE18BatchUniteAll measures the batch engine's UniteAll across
+// worker counts on one uniform edge batch (the E18 throughput table).
+func BenchmarkE18BatchUniteAll(b *testing.B) {
+	const n = 1 << 18
+	m := 4 * n
+	edges := engine.FromOps(workload.RandomUnions(n, m, 10))
+	for _, w := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := core.New(n, core.Config{Seed: 11})
+				engine.UniteAll(d, edges, engine.Config{Workers: w, Seed: 11})
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+		})
+	}
 }
 
 // BenchmarkFindOnDeepForest micro-benchmarks a single Find per variant on a

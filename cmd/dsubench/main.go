@@ -7,7 +7,10 @@
 //	dsubench [-exp E1,E4] [-quick] [-seed N] [-maxprocs P] [-list]
 //
 // With no -exp it runs everything. Output is GitHub-flavoured Markdown on
-// stdout, suitable for pasting into EXPERIMENTS.md.
+// stdout, suitable for pasting into EXPERIMENTS.md. The batch-engine
+// throughput table (E18) also answers to its alias:
+//
+//	dsubench -exp batch
 package main
 
 import (

@@ -1,0 +1,95 @@
+package dsu
+
+import (
+	"runtime"
+
+	"repro/internal/engine"
+)
+
+// Edge is one element pair of a batch: an edge to unite across, or a
+// connectivity query to answer.
+type Edge = engine.Edge
+
+// BatchOption tunes a single batch call (UniteAll, SameSetAll).
+type BatchOption interface {
+	applyBatch(*engine.Config)
+}
+
+type batchOptionFunc func(*engine.Config)
+
+func (f batchOptionFunc) applyBatch(c *engine.Config) { f(c) }
+
+// WithWorkers fixes the batch worker-pool size. The default (and any
+// value ≤ 0) is runtime.GOMAXPROCS(0); the pool never exceeds the batch
+// length.
+func WithWorkers(workers int) BatchOption {
+	return batchOptionFunc(func(c *engine.Config) { c.Workers = workers })
+}
+
+// WithGrain sets the number of edges a worker claims from the batch at a
+// time. Smaller grains balance skewed batches better; larger grains
+// amortize scheduling overhead. Values ≤ 0 select the default (1024).
+func WithGrain(grain int) BatchOption {
+	return batchOptionFunc(func(c *engine.Config) { c.Grain = grain })
+}
+
+// batchConfig resolves the engine configuration for one batch call. The
+// scheduling seed is plumbed from the structure's WithSeed option, so a
+// structure built for reproducibility also schedules its batches
+// reproducibly.
+func batchConfig(seed uint64, opts []BatchOption) engine.Config {
+	cfg := engine.Config{Workers: runtime.GOMAXPROCS(0), Seed: seed}
+	for _, o := range opts {
+		o.applyBatch(&cfg)
+	}
+	return cfg
+}
+
+// UniteAll merges across every edge of the batch using a pool of
+// work-stealing workers and returns the number of edges that performed a
+// merge. The resulting partition — and the returned count — are exactly
+// those of a sequential pass over the batch, for any worker count and
+// schedule. UniteAll may run concurrently with any other operation,
+// including other batches.
+func (d *DSU) UniteAll(edges []Edge, opts ...BatchOption) int {
+	res := engine.UniteAll(d.c, edges, batchConfig(d.c.Config().Seed, opts))
+	return int(res.Merged)
+}
+
+// UniteAllCounted is UniteAll, accumulating the pool's summed work
+// counters into st.
+func (d *DSU) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
+	res := engine.UniteAll(d.c, edges, batchConfig(d.c.Config().Seed, opts))
+	st.Add(res.Stats())
+	return int(res.Merged)
+}
+
+// SameSetAll answers pairs[i] into element i of the returned slice, using
+// the same worker pool as UniteAll. Each answer is linearizable; with no
+// concurrent Unites the whole slice is exact for the current partition.
+func (d *DSU) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
+	out, _ := engine.SameSetAll(d.c, pairs, batchConfig(d.c.Config().Seed, opts))
+	return out
+}
+
+// SameSetAllCounted is SameSetAll with work accounting into st.
+func (d *DSU) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
+	out, res := engine.SameSetAll(d.c, pairs, batchConfig(d.c.Config().Seed, opts))
+	st.Add(res.Stats())
+	return out
+}
+
+// UniteAll merges across every edge of the batch, as DSU.UniteAll. Edges
+// must name elements already created by MakeSet; MakeSet may run
+// concurrently with the batch.
+func (d *Dynamic) UniteAll(edges []Edge, opts ...BatchOption) int {
+	res := engine.UniteAll(d.c, edges, batchConfig(d.seed, opts))
+	return int(res.Merged)
+}
+
+// SameSetAll answers pairs[i] into element i of the returned slice, as
+// DSU.SameSetAll.
+func (d *Dynamic) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
+	out, _ := engine.SameSetAll(d.c, pairs, batchConfig(d.seed, opts))
+	return out
+}

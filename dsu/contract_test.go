@@ -1,0 +1,55 @@
+package dsu_test
+
+import (
+	"testing"
+
+	"repro/dsu"
+)
+
+// TestNewContractPanics pins the documented constructor contract: New
+// rejects out-of-range sizes and option combinations the paper does not
+// define.
+func TestNewContractPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"negative n", func() { dsu.New(-1) }},
+		{"n over 2^31-1", func() { dsu.New(1 << 31) }},
+		{"unknown find strategy", func() { dsu.New(4, dsu.WithFind(dsu.FindStrategy(99))) }},
+		{"early termination + halving", func() { dsu.New(4, dsu.WithFind(dsu.Halving), dsu.WithEarlyTermination()) }},
+		{"early termination + compression", func() { dsu.New(4, dsu.WithFind(dsu.Compression), dsu.WithEarlyTermination()) }},
+		{"dynamic negative capacity", func() { dsu.NewDynamic(-1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+// TestNewContractAccepts pins the combinations that must construct: every
+// strategy alone, and early termination with the strategies Section 6
+// defines it for.
+func TestNewContractAccepts(t *testing.T) {
+	for _, f := range []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting, dsu.Halving, dsu.Compression} {
+		if d := dsu.New(4, dsu.WithFind(f)); d.N() != 4 {
+			t.Errorf("%v: N = %d, want 4", f, d.N())
+		}
+	}
+	for _, f := range []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting} {
+		d := dsu.New(4, dsu.WithFind(f), dsu.WithEarlyTermination())
+		d.Unite(0, 1)
+		if !d.SameSet(0, 1) {
+			t.Errorf("%v+early: SameSet(0,1) = false after Unite", f)
+		}
+	}
+	if d := dsu.New(0); d.N() != 0 || d.Sets() != 0 {
+		t.Error("empty universe should construct")
+	}
+}

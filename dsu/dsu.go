@@ -180,7 +180,8 @@ func (d *DSU) ID(x uint32) uint32 { return d.c.ID(x) }
 // structure is lock-free rather than wait-free; this implementation bounds
 // the universe by a capacity fixed at construction.
 type Dynamic struct {
-	c *core.Dynamic
+	c    *core.Dynamic
+	seed uint64 // construction seed, plumbed into batch scheduling
 }
 
 // ErrFull is returned by MakeSet when capacity is exhausted.
@@ -194,7 +195,7 @@ func NewDynamic(capacity int, opts ...Option) *Dynamic {
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	return &Dynamic{c: core.NewDynamic(capacity, cfg.seed)}
+	return &Dynamic{c: core.NewDynamic(capacity, cfg.seed), seed: cfg.seed}
 }
 
 // MakeSet creates a new element in a singleton set and returns it, or

@@ -1,6 +1,7 @@
 // Package bench is the experiment harness: one runner per experiment in
-// DESIGN.md's per-experiment index (E1–E17), each regenerating the
-// table/check that validates one of the paper's theorems or constructions.
+// DESIGN.md's per-experiment index (E1–E18), each regenerating the
+// table/check that validates one of the paper's theorems or constructions
+// (E18 measures the batch engine, the repo's systems extension).
 // The harness is shared by cmd/dsubench (which writes the tables behind
 // EXPERIMENTS.md) and the root-level Go benchmarks.
 //
@@ -94,11 +95,18 @@ func All() []Experiment {
 		{"E15", "Per-operation step distribution (tail bound)", "Theorem 4.3 w.h.p. claim", runE15},
 		{"E16", "Contention ablation on skewed workloads", "Section 1 (path interactions)", runE16},
 		{"E17", "Section 5 potential properties along executions", "Section 5 properties (i)–(vi)", runE17},
+		{"E18", "Batch engine throughput and speedup", "systems extension; Fedorov et al. 2023, Alistarh et al. 2019", runE18},
 	}
 }
 
-// ByID returns the experiment with the given ID.
+// aliases maps friendly experiment names to IDs, for the CLI.
+var aliases = map[string]string{"batch": "E18"}
+
+// ByID returns the experiment with the given ID or alias.
 func ByID(id string) (Experiment, bool) {
+	if canonical, ok := aliases[id]; ok {
+		id = canonical
+	}
 	for _, e := range All() {
 		if e.ID == id {
 			return e, true

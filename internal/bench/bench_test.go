@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
-		t.Fatalf("registered %d experiments, want 17", len(all))
+	if len(all) != 18 {
+		t.Fatalf("registered %d experiments, want 18", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -29,6 +29,9 @@ func TestByID(t *testing.T) {
 	}
 	if _, ok := ByID("E99"); ok {
 		t.Fatal("ByID(E99) should not exist")
+	}
+	if e, ok := ByID("batch"); !ok || e.ID != "E18" {
+		t.Fatal("ByID(batch) should alias E18")
 	}
 }
 

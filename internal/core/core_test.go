@@ -324,6 +324,9 @@ func TestNewPanics(t *testing.T) {
 		fn   func()
 	}{
 		{"negative", func() { New(-1, Config{}) }},
+		{"over 2^31-1", func() { New(1<<31, Config{}) }},
+		{"dynamic negative", func() { NewDynamic(-1, 0) }},
+		{"dynamic over 2^31-1", func() { NewDynamic(1<<31, 0) }},
 		{"bad find", func() { New(1, Config{Find: Find(42)}) }},
 		{"early+halving", func() { New(1, Config{Find: FindHalving, EarlyTermination: true}) }},
 		{"early+compress", func() { New(1, Config{Find: FindCompress, EarlyTermination: true}) }},

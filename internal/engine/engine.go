@@ -1,0 +1,249 @@
+// Package engine is the batched parallel edge-processing engine: it fans a
+// slice of edges out over a pool of worker goroutines that drive the
+// wait-free operations of internal/core, with chunked work-stealing for load
+// balance and per-worker work accounting.
+//
+// Batching is the natural bulk interface for a concurrent union-find
+// (Fedorov et al., "Provably-Efficient and Internally-Deterministic Parallel
+// Union-Find", SPAA 2023): the caller hands over a whole edge list and the
+// engine decides placement, so throughput is limited by the structure, not
+// by the caller's own concurrency plumbing. Each worker starts with a
+// contiguous block of the batch (preserving scan locality) and, when its
+// block drains, steals the upper half of the fullest remaining block —
+// Polychronopoulos-style guided self-scheduling that keeps all workers busy
+// even on skewed batches where some regions of the edge list are much more
+// expensive than others.
+//
+// The engine is deliberately agnostic to what the edges mean: UniteAll
+// merges endpoint sets, SameSetAll answers connectivity queries into a
+// result slice. Both work against any Target, so the static core.DSU and
+// the growing core.Dynamic are driven identically.
+package engine
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randutil"
+	"repro/internal/workload"
+)
+
+// Edge is one (X, Y) element pair of a batch: an edge to unite across, or a
+// connectivity query to answer.
+type Edge struct {
+	X, Y uint32
+}
+
+// FromOps converts a workload op list into a batch of its element pairs.
+// The op kind is dropped: the batch call (UniteAll or SameSetAll) decides
+// what happens to each pair.
+func FromOps(ops []workload.Op) []Edge {
+	edges := make([]Edge, len(ops))
+	for i, op := range ops {
+		edges[i] = Edge{op.X, op.Y}
+	}
+	return edges
+}
+
+// Target is the operation surface the engine drives. Both core.DSU and
+// core.Dynamic satisfy it; the engine requires wait-freedom (or at least
+// lock-freedom) from the target, since workers never coordinate beyond the
+// span protocol and a blocking target would stall a whole worker.
+type Target interface {
+	UniteCounted(x, y uint32, st *core.Stats) bool
+	SameSetCounted(x, y uint32, st *core.Stats) bool
+}
+
+// Config tunes one batch run. The zero value is ready to use.
+type Config struct {
+	// Workers is the pool size; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Grain is the number of edges a worker claims per span access; 0 means
+	// defaultGrain. Smaller grains balance better, larger grains amortize
+	// the claim CAS over more real work.
+	Grain int
+	// Seed makes each worker's victim-selection order deterministic. Runs
+	// with equal seeds scan victims in the same order (the interleaving of
+	// operations still varies with goroutine scheduling).
+	Seed uint64
+}
+
+// defaultGrain amortizes one claim CAS over enough unite/query work to make
+// span traffic negligible, while staying small against the ≥64k batches the
+// engine is built for.
+const defaultGrain = 1024
+
+// Result reports what one batch run did.
+type Result struct {
+	// Workers is the resolved pool size.
+	Workers int
+	// Grain is the resolved claim granularity.
+	Grain int
+	// Merged counts Unites that performed a merge. For a fixed batch this
+	// is deterministic regardless of schedule: every true Unite reduces the
+	// number of sets by exactly one.
+	Merged int64
+	// Steals counts successful span steals — a load-imbalance diagnostic.
+	Steals int64
+	// Elapsed is the wall-clock duration of the parallel phase.
+	Elapsed time.Duration
+	// PerWorker holds each worker's operation counters, in worker order.
+	PerWorker []core.Stats
+}
+
+// Stats returns the summed work counters of all workers.
+func (r Result) Stats() core.Stats {
+	var total core.Stats
+	for i := range r.PerWorker {
+		total.Add(r.PerWorker[i])
+	}
+	return total
+}
+
+// UniteAll drives every edge of the batch through t.Unite and returns the
+// run's Result. Edges may appear in any order and multiplicity; the final
+// partition is the same as a sequential left-to-right pass (unions are
+// order-independent), and Result.Merged equals the number of merges that
+// pass would perform.
+func UniteAll(t Target, edges []Edge, cfg Config) Result {
+	return run(t, edges, cfg, nil)
+}
+
+// SameSetAll answers pairs[i] into the returned slice's element i. Answers
+// are linearizable individually; with no concurrent Unites the whole slice
+// is exact for the current partition.
+func SameSetAll(t Target, pairs []Edge, cfg Config) ([]bool, Result) {
+	out := make([]bool, len(pairs))
+	res := run(t, pairs, cfg, out)
+	return out, res
+}
+
+// run is the shared pool: Unite mode when out is nil, SameSet mode
+// otherwise (writing answers at the pair's batch index, which the
+// exactly-once claim protocol makes race-free).
+func run(t Target, edges []Edge, cfg Config, out []bool) Result {
+	if uint64(len(edges)) > math.MaxUint32 {
+		panic("engine: batch exceeds 2³²−1 edges; split it")
+	}
+	p := cfg.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(edges) {
+		p = len(edges) // never more workers than edges
+	}
+	grain := cfg.Grain
+	if grain <= 0 {
+		grain = defaultGrain
+	}
+	if grain > len(edges) && len(edges) > 0 {
+		// A grain beyond the batch claims everything at once anyway, and
+		// the clamp keeps the uint32 conversion below exact (a grain of,
+		// say, 2³² must not truncate to 0 and livelock the claim loop).
+		grain = len(edges)
+	}
+	res := Result{Workers: p, Grain: grain}
+	if len(edges) == 0 {
+		return res
+	}
+
+	// Initial partition: contiguous blocks, one per worker.
+	spans := make([]span, p)
+	chunk := (len(edges) + p - 1) / p
+	for i := range spans {
+		lo := min(i*chunk, len(edges))
+		hi := min(lo+chunk, len(edges))
+		spans[i].reset(uint32(lo), uint32(hi))
+	}
+
+	res.PerWorker = make([]core.Stats, p)
+	merged := make([]int64, p)
+	steals := make([]int64, p)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var st core.Stats
+			merged[w], steals[w] = work(t, edges, out, spans, w, uint32(grain), cfg.Seed, &st)
+			res.PerWorker[w] = st
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	for w := 0; w < p; w++ {
+		res.Merged += merged[w]
+		res.Steals += steals[w]
+	}
+	return res
+}
+
+// work is one worker's loop: drain the own span in grain-sized chunks, then
+// steal half of the fullest victim and repeat; exit when no span holds
+// stealable work. A non-empty span always has an owner actively draining
+// it, so exiting on a failed scan never strands edges — at worst the tail
+// of the batch finishes with fewer workers than it started with.
+func work(t Target, edges []Edge, out []bool, spans []span, w int, grain uint32, seed uint64, st *core.Stats) (merged, steals int64) {
+	rng := randutil.NewXoshiro256(randutil.Mix64(seed ^ uint64(w+1)))
+	own := &spans[w]
+	for {
+		for {
+			lo, hi, ok := own.claim(grain)
+			if !ok {
+				break
+			}
+			if out == nil {
+				for i := lo; i < hi; i++ {
+					if t.UniteCounted(edges[i].X, edges[i].Y, st) {
+						merged++
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					out[i] = t.SameSetCounted(edges[i].X, edges[i].Y, st)
+				}
+			}
+		}
+		lo, hi, ok := steal(spans, w, grain, rng)
+		if !ok {
+			return merged, steals
+		}
+		steals++
+		own.reset(lo, hi)
+	}
+}
+
+// steal scans the other spans from a seeded-random starting point and takes
+// the upper half of the fullest one found. It retries while work remains
+// but a CAS race loses it, and reports ok=false once every span is (or is
+// about to be) empty.
+func steal(spans []span, self int, grain uint32, rng *randutil.Xoshiro256) (lo, hi uint32, ok bool) {
+	for {
+		victim, best := -1, 0
+		start := rng.Intn(len(spans))
+		for k := 0; k < len(spans); k++ {
+			i := (start + k) % len(spans)
+			if i == self {
+				continue
+			}
+			if r := spans[i].remaining(); r > best {
+				victim, best = i, r
+			}
+		}
+		if victim < 0 {
+			return 0, 0, false
+		}
+		if lo, hi, ok = spans[victim].stealHalf(grain); ok {
+			return lo, hi, true
+		}
+		if best < 2*int(grain) {
+			// The fullest span is below the steal threshold; its owner will
+			// finish it faster than we can migrate it.
+			return 0, 0, false
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/seqdsu"
+	"repro/internal/workload"
+)
+
+// seqPartition replays edges through the classical sequential structure,
+// returning it and the number of merges — the oracle every batch run must
+// reproduce.
+func seqPartition(n int, edges []Edge) (*seqdsu.DSU, int) {
+	ref := seqdsu.New(n, seqdsu.LinkRank, seqdsu.CompactHalving, 1)
+	merges := 0
+	for _, e := range edges {
+		if ref.Unite(e.X, e.Y) {
+			merges++
+		}
+	}
+	return ref, merges
+}
+
+func TestUniteAllMatchesSequentialBaseline(t *testing.T) {
+	const n = 1 << 11
+	edges := FromOps(workload.RandomUnions(n, 4*n, 17))
+	ref, wantMerges := seqPartition(n, edges)
+	want := ref.CanonicalLabels()
+
+	for _, workers := range []int{1, 2, 3, 8, 16} {
+		for _, grain := range []int{1, 7, 1024} {
+			d := core.New(n, core.Config{Seed: 5})
+			res := UniteAll(d, edges, Config{Workers: workers, Grain: grain, Seed: 99})
+			if res.Merged != int64(wantMerges) {
+				t.Errorf("workers=%d grain=%d: Merged = %d, want %d", workers, grain, res.Merged, wantMerges)
+			}
+			got := d.CanonicalLabels()
+			for x := range got {
+				if got[x] != want[x] {
+					t.Fatalf("workers=%d grain=%d: label[%d] = %d, want %d", workers, grain, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+func TestSameSetAllMatchesSequentialBaseline(t *testing.T) {
+	const n = 1 << 11
+	unions := FromOps(workload.RandomUnions(n, n, 23))
+	ref, _ := seqPartition(n, unions)
+
+	d := core.New(n, core.Config{Seed: 7})
+	UniteAll(d, unions, Config{Workers: 4})
+
+	queries := FromOps(workload.RandomUnions(n, 4*n, 29))
+	got, res := SameSetAll(d, queries, Config{Workers: 5, Grain: 64})
+	if len(got) != len(queries) {
+		t.Fatalf("len(got) = %d, want %d", len(got), len(queries))
+	}
+	if st := res.Stats(); st.Ops != int64(len(queries)) {
+		t.Errorf("counted ops = %d, want %d", st.Ops, len(queries))
+	}
+	for i, q := range queries {
+		if want := ref.SameSet(q.X, q.Y); got[i] != want {
+			t.Errorf("query %d %v: got %v, want %v", i, q, got[i], want)
+		}
+	}
+}
+
+func TestUniteAllDrivesDynamicTarget(t *testing.T) {
+	const n = 512
+	d := core.NewDynamic(n, 3)
+	for i := 0; i < n; i++ {
+		if _, err := d.MakeSet(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := FromOps(workload.RandomUnions(n, 2*n, 31))
+	ref, wantMerges := seqPartition(n, edges)
+	res := UniteAll(d, edges, Config{Workers: 4, Grain: 16})
+	if res.Merged != int64(wantMerges) {
+		t.Errorf("Merged = %d, want %d", res.Merged, wantMerges)
+	}
+	want := ref.CanonicalLabels()
+	got := d.CanonicalLabels()
+	for x := range got {
+		if got[x] != want[x] {
+			t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
+		}
+	}
+}
+
+// countingTarget records how many times each batch index was delivered,
+// using the X endpoint as the index.
+type countingTarget struct {
+	counts []atomic.Int32
+}
+
+func (c *countingTarget) UniteCounted(x, y uint32, st *core.Stats) bool {
+	c.counts[x].Add(1)
+	return false
+}
+
+func (c *countingTarget) SameSetCounted(x, y uint32, st *core.Stats) bool {
+	c.counts[x].Add(1)
+	return false
+}
+
+// TestExactlyOnceDelivery forces heavy stealing (tiny grain, many workers)
+// and checks that every edge is processed exactly once.
+func TestExactlyOnceDelivery(t *testing.T) {
+	const m = 100_000
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{uint32(i), 0}
+	}
+	tgt := &countingTarget{counts: make([]atomic.Int32, m)}
+	UniteAll(tgt, edges, Config{Workers: 8, Grain: 2, Seed: 41})
+	for i := range tgt.counts {
+		if got := tgt.counts[i].Load(); got != 1 {
+			t.Fatalf("edge %d delivered %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestEmptyAndTinyBatches(t *testing.T) {
+	d := core.New(8, core.Config{})
+	if res := UniteAll(d, nil, Config{Workers: 4}); res.Merged != 0 || len(res.PerWorker) != 0 {
+		t.Errorf("empty batch: got %+v", res)
+	}
+	res := UniteAll(d, []Edge{{0, 1}}, Config{Workers: 16})
+	if res.Workers != 1 {
+		t.Errorf("one-edge batch resolved %d workers, want 1", res.Workers)
+	}
+	if res.Merged != 1 {
+		t.Errorf("one-edge batch Merged = %d, want 1", res.Merged)
+	}
+	out, _ := SameSetAll(d, []Edge{{0, 1}, {0, 2}}, Config{Workers: 16})
+	if !out[0] || out[1] {
+		t.Errorf("tiny SameSetAll = %v, want [true false]", out)
+	}
+}
+
+// TestHugeGrainClamped pins the clamp that keeps an over-wide Grain from
+// truncating to 0 in the uint32 span arithmetic (which would livelock the
+// claim loop).
+func TestHugeGrainClamped(t *testing.T) {
+	const n = 256
+	edges := FromOps(workload.RandomUnions(n, 2*n, 53))
+	_, wantMerges := seqPartition(n, edges)
+	d := core.New(n, core.Config{Seed: 3})
+	res := UniteAll(d, edges, Config{Workers: 4, Grain: int(^uint(0) >> 1)})
+	if res.Grain != len(edges) {
+		t.Errorf("resolved grain = %d, want clamp to %d", res.Grain, len(edges))
+	}
+	if res.Merged != int64(wantMerges) {
+		t.Errorf("Merged = %d, want %d", res.Merged, wantMerges)
+	}
+}
+
+func TestMergedIsScheduleIndependent(t *testing.T) {
+	const n = 1 << 10
+	edges := FromOps(workload.RandomUnions(n, 3*n, 47))
+	var first int64
+	for rep := 0; rep < 4; rep++ {
+		d := core.New(n, core.Config{Seed: uint64(rep)})
+		res := UniteAll(d, edges, Config{Workers: 6, Grain: 8, Seed: uint64(rep)})
+		if rep == 0 {
+			first = res.Merged
+		} else if res.Merged != first {
+			t.Fatalf("rep %d: Merged = %d, want %d (merge count depends only on the edge multiset)", rep, res.Merged, first)
+		}
+	}
+}
+
+func TestSpanPackUnpack(t *testing.T) {
+	cases := [][2]uint32{{0, 0}, {0, 1}, {5, 9}, {1<<32 - 2, 1<<32 - 1}}
+	for _, c := range cases {
+		n, l := unpack(pack(c[0], c[1]))
+		if n != c[0] || l != c[1] {
+			t.Errorf("pack/unpack(%d, %d) = (%d, %d)", c[0], c[1], n, l)
+		}
+	}
+}
+
+func TestSpanClaim(t *testing.T) {
+	var s span
+	s.reset(0, 10)
+	if lo, hi, ok := s.claim(4); !ok || lo != 0 || hi != 4 {
+		t.Fatalf("claim = (%d, %d, %v), want (0, 4, true)", lo, hi, ok)
+	}
+	if lo, hi, ok := s.claim(100); !ok || lo != 4 || hi != 10 {
+		t.Fatalf("claim caps at limit: (%d, %d, %v), want (4, 10, true)", lo, hi, ok)
+	}
+	if _, _, ok := s.claim(1); ok {
+		t.Fatal("claim on empty span succeeded")
+	}
+}
+
+func TestSpanStealHalf(t *testing.T) {
+	var s span
+	s.reset(0, 100)
+	lo, hi, ok := s.stealHalf(10)
+	if !ok || lo != 50 || hi != 100 {
+		t.Fatalf("stealHalf = (%d, %d, %v), want (50, 100, true)", lo, hi, ok)
+	}
+	if s.remaining() != 50 {
+		t.Fatalf("victim remaining = %d, want 50", s.remaining())
+	}
+	s.reset(0, 19)
+	if _, _, ok := s.stealHalf(10); ok {
+		t.Fatal("stealHalf below the 2×grain threshold succeeded")
+	}
+}
+
+// TestSpanConcurrentClaimSteal hammers one span with a claiming owner and
+// stealing thieves and checks the handed-out intervals tile [0, N) exactly.
+func TestSpanConcurrentClaimSteal(t *testing.T) {
+	const N = 1 << 16
+	var s span
+	s.reset(0, N)
+	seen := make([]atomic.Int32, N)
+	mark := func(lo, hi uint32) {
+		for i := lo; i < hi; i++ {
+			seen[i].Add(1)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // owner
+		defer wg.Done()
+		for {
+			lo, hi, ok := s.claim(3)
+			if !ok {
+				return
+			}
+			mark(lo, hi)
+		}
+	}()
+	for th := 0; th < 2; th++ {
+		go func() { // thieves re-stealing from the same span
+			defer wg.Done()
+			for {
+				lo, hi, ok := s.stealHalf(3)
+				if !ok {
+					return
+				}
+				mark(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	// Thieves stop below the 2×grain threshold, so the owner must have
+	// drained the rest; every index is covered exactly once.
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d covered %d times, want 1", i, got)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package engine
+
+import "sync/atomic"
+
+// span is one worker's claimable range of edge indices [next, limit). Both
+// bounds are packed into a single atomic word (limit in the high 32 bits,
+// next in the low 32) so a local claim and a remote steal linearize against
+// each other through one CAS: neither side can observe a half-updated range,
+// which is what guarantees every index is handed out exactly once.
+//
+// ABA on the packed word is impossible: a span only ever holds ranges of
+// not-yet-claimed indices, claimed indices never re-enter any span, so a
+// (next, limit) value can never recur after the range it names is drained.
+type span struct {
+	bounds atomic.Uint64
+	_      [56]byte // pad to a cache line; each worker hammers its own span
+}
+
+func pack(next, limit uint32) uint64       { return uint64(limit)<<32 | uint64(next) }
+func unpack(b uint64) (next, limit uint32) { return uint32(b), uint32(b >> 32) }
+
+// reset installs a fresh range. Only the owning worker stores, and only
+// while its span is empty, so a store can race only with steal CASes that
+// are doomed to fail on the old (empty) value.
+func (s *span) reset(next, limit uint32) { s.bounds.Store(pack(next, limit)) }
+
+// remaining returns the current number of unclaimed indices.
+func (s *span) remaining() int {
+	n, l := unpack(s.bounds.Load())
+	if n >= l {
+		return 0
+	}
+	return int(l - n)
+}
+
+// claim takes up to grain indices from the front of the range, returning the
+// half-open interval claimed, or ok=false when the span is empty.
+func (s *span) claim(grain uint32) (lo, hi uint32, ok bool) {
+	for {
+		b := s.bounds.Load()
+		n, l := unpack(b)
+		if n >= l {
+			return 0, 0, false
+		}
+		hi = n + grain
+		if hi > l || hi < n { // second clause guards uint32 overflow
+			hi = l
+		}
+		if s.bounds.CompareAndSwap(b, pack(hi, l)) {
+			return n, hi, true
+		}
+	}
+}
+
+// stealHalf takes the upper half of the unclaimed range, returning the
+// stolen interval, or ok=false when less than two grains remain — a tail
+// that small is cheaper for the owner (who is necessarily still draining a
+// non-empty span) to finish than to migrate.
+func (s *span) stealHalf(grain uint32) (lo, hi uint32, ok bool) {
+	for {
+		b := s.bounds.Load()
+		n, l := unpack(b)
+		if n >= l || l-n < 2*grain {
+			return 0, 0, false
+		}
+		mid := n + (l-n)/2
+		if s.bounds.CompareAndSwap(b, pack(n, mid)) {
+			return mid, l, true
+		}
+	}
+}
