@@ -13,6 +13,7 @@ import (
 	"repro/internal/forest"
 	"repro/internal/sched"
 	"repro/internal/seqdsu"
+	"repro/internal/shard"
 	"repro/internal/simdsu"
 	"repro/internal/workload"
 )
@@ -325,6 +326,31 @@ func BenchmarkE18BatchUniteAll(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := core.New(n, core.Config{Seed: 11})
 				engine.UniteAll(d, edges, engine.Config{Workers: w, Seed: 11})
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+		})
+	}
+}
+
+// BenchmarkE19ShardedUniteAll measures the sharded batch path across shard
+// counts on one community-structured edge batch (the E19 table's sweet
+// spot), with the flat engine as the shards=0 baseline.
+func BenchmarkE19ShardedUniteAll(b *testing.B) {
+	const n = 1 << 18
+	m := 4 * n
+	edges := engine.FromOps(workload.CommunityUnions(n, m, 64, 0.95, 10))
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := core.New(n, core.Config{Seed: 11})
+			engine.UniteAll(d, edges, engine.Config{Workers: 4, Seed: 11})
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+	})
+	for _, s := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := shard.New(n, s, core.Config{Seed: 11})
+				d.UniteAll(edges, engine.Config{Workers: 4, Seed: 11})
 			}
 			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
 		})

@@ -7,10 +7,11 @@
 //	dsubench [-exp E1,E4] [-quick] [-seed N] [-maxprocs P] [-list]
 //
 // With no -exp it runs everything. Output is GitHub-flavoured Markdown on
-// stdout, suitable for pasting into EXPERIMENTS.md. The batch-engine
-// throughput table (E18) also answers to its alias:
+// stdout, suitable for pasting into EXPERIMENTS.md. Experiment ids match
+// case-insensitively, and the two systems tables answer to aliases:
 //
-//	dsubench -exp batch
+//	dsubench -exp batch   # E18, batch-engine throughput
+//	dsubench -exp shard   # E19, sharded DSU vs flat engine
 package main
 
 import (

@@ -24,7 +24,9 @@
 //	d := dsu.New(n, dsu.WithFind(dsu.OneTrySplitting), dsu.WithEarlyTermination())
 //
 // For workloads that create elements on line, NewDynamic provides MakeSet
-// (lock-free; see the paper's Section 3 remark).
+// (lock-free; see the paper's Section 3 remark). For universes past one
+// parent array's cache footprint, NewSharded partitions the elements
+// across per-shard engines with cross-shard reconciliation (see Sharded).
 package dsu
 
 import "repro/internal/core"

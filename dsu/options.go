@@ -1,9 +1,10 @@
 package dsu
 
 type config struct {
-	find  FindStrategy
-	early bool
-	seed  uint64
+	find   FindStrategy
+	early  bool
+	seed   uint64
+	shards int
 }
 
 func defaultConfig() config {
@@ -38,4 +39,11 @@ func WithEarlyTermination() Option {
 // and sizes use identical orders.
 func WithSeed(seed uint64) Option {
 	return optionFunc(func(c *config) { c.seed = seed })
+}
+
+// WithShards routes a shard count through the option list: a positive value
+// overrides NewSharded's positional count, so plumbing that carries one
+// []Option can select the partition too. New and NewDynamic ignore it.
+func WithShards(shards int) Option {
+	return optionFunc(func(c *config) { c.shards = shards })
 }

@@ -1,0 +1,128 @@
+package dsu
+
+import (
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+// Sharded is a disjoint-set structure whose element universe 0..n−1 is
+// partitioned into contiguous blocks across independent per-shard engines,
+// with a bridge forest reconciling cross-shard unions. It exposes the same
+// operations as DSU and always produces the same partition, but its batch
+// path scales past one parent array's cache footprint: intra-shard edges
+// run against shard-sized working sets (all shards in parallel) and only
+// the cross-shard spill list touches the shared bridge.
+//
+// Contract (DESIGN.md, "Sharding & reconciliation", has the full story):
+// mutations (Unite, UniteAll) serialize on an internal lock and are
+// linearizable in that order — each UniteAll is internally parallel.
+// Queries (Find, SameSet, SameSetAll) never block and may run concurrently
+// with anything: a true SameSet answer is definite; a false answer is
+// exact at mutation-quiescence, but concurrent with a mutation it may
+// transiently miss unions — the in-flight ones, and, while the mutation is
+// re-anchoring a merged set's representatives, even cross-shard unions
+// committed by earlier calls. Unite's boolean is exact. UniteAll's count
+// tallies structural merges across both levels; it can exceed the flat
+// DSU's count when cross-shard paths have already connected two
+// locally-separate sets, while the resulting partition is identical.
+type Sharded struct {
+	s *shard.DSU
+	// seed plumbs the structure seed into batch scheduling, as DSU does.
+	seed uint64
+}
+
+// NewSharded returns a sharded DSU over n elements in the given number of
+// shards. It panics if n is out of range (as New) or the shard count is
+// below one; a count exceeding n is clamped so no shard is empty. All New
+// options apply — WithFind and WithEarlyTermination select the variant run
+// by every shard and the bridge, WithSeed makes construction and batch
+// scheduling reproducible, and a positive WithShards overrides the
+// positional count (useful when one option list carries a full
+// configuration through plumbing).
+func NewSharded(n, shards int, opts ...Option) *Sharded {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.shards > 0 {
+		shards = cfg.shards
+	}
+	if shards < 1 {
+		panic("dsu: NewSharded needs at least one shard")
+	}
+	return &Sharded{
+		s: shard.New(n, shards, core.Config{
+			Find:             coreFind(cfg.find),
+			EarlyTermination: cfg.early,
+			Seed:             cfg.seed,
+		}),
+		seed: cfg.seed,
+	}
+}
+
+// N returns the number of elements.
+func (d *Sharded) N() int { return d.s.N() }
+
+// Shards returns the resolved shard count (which may be below the request;
+// see NewSharded).
+func (d *Sharded) Shards() int { return d.s.Shards() }
+
+// ShardOf returns the shard owning element x, for routing-aware callers.
+func (d *Sharded) ShardOf(x uint32) int { return d.s.Partition().ShardOf(x) }
+
+// Find returns x's global representative — the bridge-level root of its
+// shard-local root. Representatives change as sets merge; SameSet is the
+// stable way to compare membership.
+func (d *Sharded) Find(x uint32) uint32 { return d.s.Find(x) }
+
+// SameSet reports whether x and y are in the same set, per the query
+// contract in the type documentation.
+func (d *Sharded) SameSet(x, y uint32) bool { return d.s.SameSet(x, y) }
+
+// Unite merges the sets containing x and y, reporting whether this call
+// performed the merge. The boolean is exact: mutations are serialized, so
+// the internal membership pre-check sees a mutation-quiescent structure.
+func (d *Sharded) Unite(x, y uint32) bool { return d.s.Unite(x, y) }
+
+// UniteAll merges across every edge of the batch: intra-shard edges are
+// routed to their shard's own engine run, all shards driven in parallel,
+// and cross-shard edges spill into the reconciliation pass. The resulting
+// partition is exactly a flat DSU's partition for the same edges. The
+// returned count tallies merges across both levels (see the type docs).
+// Batch options apply per call: WithWorkers is the total budget split
+// across the active shards, WithGrain and WithPrefilter pass through.
+func (d *Sharded) UniteAll(edges []Edge, opts ...BatchOption) int {
+	res := d.s.UniteAll(edges, batchConfig(d.seed, opts))
+	return int(res.Merged)
+}
+
+// UniteAllCounted is UniteAll, accumulating the summed work counters of
+// every phase — per-shard runs, re-anchoring, and the bridge run — into st.
+func (d *Sharded) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
+	res := d.s.UniteAll(edges, batchConfig(d.seed, opts))
+	st.Add(res.Stats())
+	return int(res.Merged)
+}
+
+// SameSetAll answers pairs[i] into element i of the returned slice through
+// the two-level structure, using the same worker pool as UniteAll. Each
+// answer carries the query contract of SameSet.
+func (d *Sharded) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
+	out, _ := d.s.SameSetAll(pairs, batchConfig(d.seed, opts))
+	return out
+}
+
+// SameSetAllCounted is SameSetAll with work accounting into st.
+func (d *Sharded) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
+	out, res := d.s.SameSetAll(pairs, batchConfig(d.seed, opts))
+	st.Add(res.Stats())
+	return out
+}
+
+// Sets returns the number of sets. Call at quiescence for an exact answer.
+func (d *Sharded) Sets() int { return d.s.Sets() }
+
+// CanonicalLabels returns, for every element, the minimum element of its
+// set — the same canonical naming DSU.CanonicalLabels produces. Call at
+// quiescence.
+func (d *Sharded) CanonicalLabels() []uint32 { return d.s.CanonicalLabels() }

@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registered %d experiments, want 18", len(all))
+	if len(all) != 19 {
+		t.Fatalf("registered %d experiments, want 19", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -32,6 +32,14 @@ func TestByID(t *testing.T) {
 	}
 	if e, ok := ByID("batch"); !ok || e.ID != "E18" {
 		t.Fatal("ByID(batch) should alias E18")
+	}
+	if e, ok := ByID("shard"); !ok || e.ID != "E19" {
+		t.Fatal("ByID(shard) should alias E19")
+	}
+	for _, id := range []string{"e19", "E19", "SHARD"} {
+		if e, ok := ByID(id); !ok || e.ID != "E19" {
+			t.Fatalf("ByID(%q) should resolve case-insensitively to E19", id)
+		}
 	}
 }
 

@@ -115,13 +115,116 @@ func TestExactlyOnceDelivery(t *testing.T) {
 	const m = 100_000
 	edges := make([]Edge, m)
 	for i := range edges {
-		edges[i] = Edge{uint32(i), 0}
+		// Y is any value distinct from every X: the worker loop answers
+		// self-loops inline, and this test needs each edge to reach the
+		// counting target.
+		edges[i] = Edge{uint32(i), ^uint32(0)}
 	}
 	tgt := &countingTarget{counts: make([]atomic.Int32, m)}
 	UniteAll(tgt, edges, Config{Workers: 8, Grain: 2, Seed: 41})
 	for i := range tgt.counts {
 		if got := tgt.counts[i].Load(); got != 1 {
 			t.Fatalf("edge %d delivered %d times, want 1", i, got)
+		}
+	}
+}
+
+// TestSelfLoopsSkipFinds pins the worker-loop fast path: a self-loop edge
+// is answered inline — no merge, no finds, no shared-memory traffic — while
+// still counting as a completed operation.
+func TestSelfLoopsSkipFinds(t *testing.T) {
+	const n, m = 50, 1000
+	edges := make([]Edge, m)
+	for i := range edges {
+		v := uint32(i % n)
+		edges[i] = Edge{v, v}
+	}
+	d := core.New(n, core.Config{Seed: 59})
+	res := UniteAll(d, edges, Config{Workers: 3, Grain: 16})
+	if res.Merged != 0 {
+		t.Errorf("self-loop batch Merged = %d, want 0", res.Merged)
+	}
+	st := res.Stats()
+	if st.Ops != m {
+		t.Errorf("self-loop batch Ops = %d, want %d", st.Ops, m)
+	}
+	if st.Finds != 0 || st.Reads != 0 || st.CASAttempts != 0 {
+		t.Errorf("self-loop batch paid work: finds=%d reads=%d cas=%d, want all 0",
+			st.Finds, st.Reads, st.CASAttempts)
+	}
+	out, qres := SameSetAll(d, edges, Config{Workers: 3, Grain: 16})
+	for i, ans := range out {
+		if !ans {
+			t.Fatalf("SameSetAll self-pair %d = false, want true", i)
+		}
+	}
+	if qst := qres.Stats(); qst.Finds != 0 || qst.Ops != m {
+		t.Errorf("self-pair queries: finds=%d ops=%d, want 0 and %d", qst.Finds, qst.Ops, m)
+	}
+}
+
+// TestMixedSelfLoopsMatchBaseline checks a batch interleaving self-loops
+// with real edges still reproduces the sequential partition and merge count.
+func TestMixedSelfLoopsMatchBaseline(t *testing.T) {
+	const n = 1 << 10
+	edges := FromOps(workload.RandomUnions(n, 3*n, 61))
+	for i := 0; i < len(edges); i += 5 {
+		edges[i] = Edge{uint32(i % n), uint32(i % n)}
+	}
+	ref, wantMerges := seqPartition(n, edges)
+	want := ref.CanonicalLabels()
+	d := core.New(n, core.Config{Seed: 67})
+	res := UniteAll(d, edges, Config{Workers: 4, Grain: 32})
+	if res.Merged != int64(wantMerges) {
+		t.Errorf("Merged = %d, want %d", res.Merged, wantMerges)
+	}
+	got := d.CanonicalLabels()
+	for x := range got {
+		if got[x] != want[x] {
+			t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
+		}
+	}
+}
+
+// TestPrefilter pins the filter semantics: self-loops dropped, duplicates
+// (in either orientation) collapsed to their first occurrence, order
+// preserved, input untouched, partition unchanged.
+func TestPrefilter(t *testing.T) {
+	in := []Edge{{1, 2}, {3, 3}, {2, 1}, {4, 5}, {1, 2}, {5, 4}, {0, 6}}
+	inCopy := append([]Edge(nil), in...)
+	got := Prefilter(in)
+	want := []Edge{{1, 2}, {4, 5}, {0, 6}}
+	if len(got) != len(want) {
+		t.Fatalf("Prefilter kept %d edges %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Prefilter[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for i := range in {
+		if in[i] != inCopy[i] {
+			t.Fatalf("Prefilter mutated its input at %d", i)
+		}
+	}
+
+	const n = 1 << 10
+	edges := FromOps(workload.ZipfMixed(n, 4*n, 1.0, 1.2, 71))
+	filtered := Prefilter(edges)
+	if len(filtered) >= len(edges) {
+		t.Fatalf("Zipf batch should shrink: %d -> %d", len(edges), len(filtered))
+	}
+	ref, wantMerges := seqPartition(n, edges)
+	want2 := ref.CanonicalLabels()
+	d := core.New(n, core.Config{Seed: 73})
+	res := UniteAll(d, edges, Config{Workers: 4, Prefilter: true})
+	if res.Merged != int64(wantMerges) {
+		t.Errorf("prefiltered Merged = %d, want %d", res.Merged, wantMerges)
+	}
+	got2 := d.CanonicalLabels()
+	for x := range got2 {
+		if got2[x] != want2[x] {
+			t.Fatalf("prefiltered label[%d] = %d, want %d", x, got2[x], want2[x])
 		}
 	}
 }

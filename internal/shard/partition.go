@@ -1,0 +1,72 @@
+package shard
+
+// Partition maps the element universe 0..n−1 onto contiguous equal-width
+// blocks, one per shard (the last block may be narrower when the width does
+// not divide n). Contiguous blocks — rather than modulo striping — keep
+// each shard's working set a dense prefix-addressable array slice, so an
+// intra-shard batch touches one shard-sized cache footprint instead of
+// striding the whole universe, and they make the shard/local/global maps
+// pure arithmetic.
+type Partition struct {
+	n      int
+	block  uint32 // elements per shard; last shard may hold fewer
+	shards int
+}
+
+// NewPartition builds the block partition of n elements into at most the
+// requested number of shards. It panics on a negative n or a shard count
+// below one; a count exceeding n is clamped so no shard is empty. The
+// resolved count can land below the request even when shards ≤ n, because
+// ceil-width blocks may cover n in fewer pieces (e.g. n=5, shards=4 gives
+// width-2 blocks and 3 shards).
+func NewPartition(n, shards int) Partition {
+	if n < 0 {
+		panic("shard: negative element count")
+	}
+	if shards < 1 {
+		panic("shard: need at least one shard")
+	}
+	if shards > n {
+		shards = n
+	}
+	if n == 0 {
+		// Zero elements: no shards, and a nonzero block keeps the map
+		// arithmetic division-safe (nothing is ever mapped).
+		return Partition{n: 0, block: 1, shards: 0}
+	}
+	block := (n + shards - 1) / shards
+	return Partition{n: n, block: uint32(block), shards: (n + block - 1) / block}
+}
+
+// N returns the number of elements.
+func (p Partition) N() int { return p.n }
+
+// Shards returns the resolved shard count.
+func (p Partition) Shards() int { return p.shards }
+
+// Block returns the block width (elements per shard before the tail).
+func (p Partition) Block() int { return int(p.block) }
+
+// ShardOf returns the shard owning element x.
+func (p Partition) ShardOf(x uint32) int { return int(x / p.block) }
+
+// Local returns x's index within its shard.
+func (p Partition) Local(x uint32) uint32 { return x % p.block }
+
+// Global maps a shard-local index back to the element it names.
+func (p Partition) Global(shard int, local uint32) uint32 {
+	return uint32(shard)*p.block + local
+}
+
+// Size returns the number of elements in the given shard.
+func (p Partition) Size(shard int) int {
+	lo := shard * int(p.block)
+	hi := lo + int(p.block)
+	if hi > p.n {
+		hi = p.n
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

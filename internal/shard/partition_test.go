@@ -1,0 +1,64 @@
+package shard
+
+import "testing"
+
+// TestPartitionCoversUniverse checks every element maps to exactly one
+// (shard, local) pair that round-trips through Global, and that shard sizes
+// sum to n.
+func TestPartitionCoversUniverse(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{1, 1}, {5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 5},
+		{8, 3}, {100, 7}, {1000, 8}, {7, 100},
+	} {
+		p := NewPartition(tc.n, tc.shards)
+		total := 0
+		for i := 0; i < p.Shards(); i++ {
+			sz := p.Size(i)
+			if sz <= 0 {
+				t.Fatalf("n=%d shards=%d: shard %d has size %d", tc.n, tc.shards, i, sz)
+			}
+			total += sz
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d shards=%d: sizes sum to %d", tc.n, tc.shards, total)
+		}
+		for x := 0; x < tc.n; x++ {
+			i := p.ShardOf(uint32(x))
+			if i < 0 || i >= p.Shards() {
+				t.Fatalf("n=%d shards=%d: element %d maps to shard %d of %d", tc.n, tc.shards, x, i, p.Shards())
+			}
+			l := p.Local(uint32(x))
+			if int(l) >= p.Size(i) {
+				t.Fatalf("n=%d shards=%d: element %d local index %d exceeds shard %d size %d", tc.n, tc.shards, x, l, i, p.Size(i))
+			}
+			if g := p.Global(i, l); g != uint32(x) {
+				t.Fatalf("n=%d shards=%d: element %d round-trips to %d", tc.n, tc.shards, x, g)
+			}
+		}
+	}
+}
+
+// TestPartitionClamps pins the boundary behaviour: more shards than
+// elements clamps, zero elements yields zero shards, bad arguments panic.
+func TestPartitionClamps(t *testing.T) {
+	if p := NewPartition(3, 64); p.Shards() != 3 {
+		t.Errorf("shards > n: resolved %d shards, want 3", p.Shards())
+	}
+	if p := NewPartition(0, 4); p.Shards() != 0 || p.N() != 0 {
+		t.Errorf("empty universe: %d shards over %d elements", p.Shards(), p.N())
+	}
+	for _, fn := range []func(){
+		func() { NewPartition(-1, 2) },
+		func() { NewPartition(10, 0) },
+		func() { NewPartition(10, -3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid partition arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,450 @@
+// Package shard partitions the element universe across independent
+// per-shard core.DSU instances, with a bridge forest reconciling the
+// cross-shard unions — the two-level architecture that lets batches scale
+// past one parent array's cache footprint (Fedorov et al., SPAA 2023, make
+// the bulk-interface case; the ROADMAP names sharding as the step toward
+// NUMA-scale traffic).
+//
+// # Structure
+//
+// Elements 0..n−1 are split into contiguous blocks, one core.DSU per block
+// (the "locals"). A second core.DSU over the full universe — the "bridge" —
+// records only cross-shard connectivity: the only elements that ever leave
+// singleton state in it are the shard-local representatives that spill
+// edges (and the closure pass below) unite. Global connectivity is the
+// transitive closure of the S+1 relations; the invariant maintained at
+// every quiescent point collapses that closure to two finds:
+//
+//	rep(x) = bridge.Find(global(localRoot(x)))
+//	x ~ y  ⇔  rep(x) == rep(y)
+//
+// # Closure invariant and re-anchoring
+//
+// The invariant: for every shard-local set C that has bridge participants,
+// all of C's participants lie in a single bridge class, and that class
+// contains C's current local root. A batch's intra-shard unions can break
+// this — merging two local sets dethrones one root while the bridge still
+// hangs off it — so the structure keeps, per shard, an anchor set: local
+// elements whose sets may carry bridge links. After any local merge, a
+// re-anchor pass unites each anchor's global id with its current local
+// root's global id in the bridge (sound: they are locally, hence globally,
+// equivalent) and compacts the anchor set to the surviving roots. Spill
+// edges then unite current local roots, which the restored invariant makes
+// exactly the global merge.
+//
+// # Concurrency contract
+//
+// Mutations (Unite, UniteAll) serialize on an internal mutex; each UniteAll
+// is internally parallel (per-shard engine runs fan out, and the spill list
+// is itself driven through the engine against the bridge). Mutations are
+// therefore linearizable in lock order, and point Unite's return value is
+// exact. Queries (Find, SameSet, SameSetAll) never take the lock: they ride
+// the wait-free cores, may run concurrently with anything, and are exact at
+// quiescence; concurrent with mutations, a true SameSet is definitely true
+// (the witnessed relations only grow) while a false is only advisory. A
+// concurrent false can miss not just the in-flight unions but — during the
+// window between a local merge and its re-anchor pass, while a dethroned
+// root's bridge class awaits re-linking — transiently fail to observe a
+// cross-shard union committed by an earlier call; mutation-quiescence
+// restores exactness. DESIGN.md's "Sharding & reconciliation" section
+// states the same contract from the caller's side.
+package shard
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/randutil"
+)
+
+// DSU is the sharded two-level disjoint-set structure. The zero value is
+// not usable; call New.
+type DSU struct {
+	part   Partition
+	locals []*core.DSU // one per shard, over local indices 0..Size(i)−1
+	bridge *core.DSU   // over global ids; only spill representatives link
+
+	mu sync.Mutex // serializes mutations; queries never take it
+	// anchors[i] holds local indices of shard i whose sets may carry bridge
+	// links; superset-safe (anchoring an unlinked element just adds a sound
+	// union later). Compacted to current roots on every re-anchor pass.
+	anchors []map[uint32]struct{}
+}
+
+// New returns a sharded DSU over n elements in the requested number of
+// shards (clamped as NewPartition documents). cfg selects the find variant,
+// early termination, and seed shared by all levels; per-level seeds are
+// derived from cfg.Seed so equal configurations build identical structures.
+// Panics propagate from core.New on invalid cfg combinations or n out of
+// range.
+func New(n, shards int, cfg core.Config) *DSU {
+	part := NewPartition(n, shards)
+	d := &DSU{
+		part:    part,
+		locals:  make([]*core.DSU, part.Shards()),
+		anchors: make([]map[uint32]struct{}, part.Shards()),
+	}
+	for i := range d.locals {
+		lcfg := cfg
+		lcfg.Seed = randutil.Mix64(cfg.Seed + uint64(i) + 1)
+		d.locals[i] = core.New(part.Size(i), lcfg)
+		d.anchors[i] = make(map[uint32]struct{})
+	}
+	bcfg := cfg
+	bcfg.Seed = randutil.Mix64(cfg.Seed ^ 0x627269646765) // "bridge"
+	d.bridge = core.New(n, bcfg)
+	return d
+}
+
+// N returns the number of elements.
+func (d *DSU) N() int { return d.part.N() }
+
+// Shards returns the resolved shard count.
+func (d *DSU) Shards() int { return d.part.Shards() }
+
+// Partition exposes the element→shard map for routing-aware callers.
+func (d *DSU) Partition() Partition { return d.part }
+
+// Find returns x's global representative: the bridge root of its shard-local
+// root. Exact at quiescence; roots change as sets merge, so SameSet is the
+// stable comparison.
+func (d *DSU) Find(x uint32) uint32 { return d.rep(x, nil) }
+
+// rep resolves the two-level representative of x.
+func (d *DSU) rep(x uint32, st *core.Stats) uint32 {
+	i := d.part.ShardOf(x)
+	var lr uint32
+	if st != nil {
+		lr = d.locals[i].FindCounted(d.part.Local(x), st)
+	} else {
+		lr = d.locals[i].Find(d.part.Local(x))
+	}
+	g := d.part.Global(i, lr)
+	if st != nil {
+		return d.bridge.FindCounted(g, st)
+	}
+	return d.bridge.Find(g)
+}
+
+// SameSet reports whether x and y are in the same global set. True answers
+// are definite even concurrently with mutations; false answers are exact
+// only at mutation-quiescence — concurrent with a mutation they may
+// transiently miss unions, including ones committed by earlier calls whose
+// representatives are mid-re-anchor (see the package contract).
+func (d *DSU) SameSet(x, y uint32) bool { return d.sameSet(x, y, nil) }
+
+// SameSetCounted is SameSet with work accounting into st.
+func (d *DSU) SameSetCounted(x, y uint32, st *core.Stats) bool { return d.sameSet(x, y, st) }
+
+func (d *DSU) sameSet(x, y uint32, st *core.Stats) bool {
+	if st != nil {
+		defer func() { st.Ops++ }()
+	}
+	if x == y {
+		return true
+	}
+	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
+	var lx, ly uint32
+	if st != nil {
+		lx = d.locals[i].FindCounted(d.part.Local(x), st)
+		ly = d.locals[j].FindCounted(d.part.Local(y), st)
+	} else {
+		lx = d.locals[i].Find(d.part.Local(x))
+		ly = d.locals[j].Find(d.part.Local(y))
+	}
+	if i == j && lx == ly {
+		return true
+	}
+	gx, gy := d.part.Global(i, lx), d.part.Global(j, ly)
+	if st != nil {
+		return d.bridge.FindCounted(gx, st) == d.bridge.FindCounted(gy, st)
+	}
+	return d.bridge.Find(gx) == d.bridge.Find(gy)
+}
+
+// Unite merges the global sets containing x and y, reporting whether this
+// call performed the merge. Exact: mutations serialize, so the pre-check is
+// against a mutation-quiescent structure.
+func (d *DSU) Unite(x, y uint32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.sameSet(x, y, nil) {
+		return false
+	}
+	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
+	if i == j {
+		// Globally disjoint implies locally disjoint, so this merges.
+		d.locals[i].Unite(d.part.Local(x), d.part.Local(y))
+		d.reanchor(i, nil)
+		return true
+	}
+	lx := d.locals[i].Find(d.part.Local(x))
+	ly := d.locals[j].Find(d.part.Local(y))
+	d.bridge.Unite(d.part.Global(i, lx), d.part.Global(j, ly))
+	d.anchors[i][lx] = struct{}{}
+	d.anchors[j][ly] = struct{}{}
+	return true
+}
+
+// reanchor restores the closure invariant for shard i after local merges
+// may have dethroned roots: each anchor's bridge class is re-linked to the
+// anchor's current local root, and the anchor set is compacted to the
+// surviving roots. Returns the number of bridge unions issued. Safe to run
+// concurrently for distinct shards — it touches only shard i's local state
+// and the wait-free bridge.
+func (d *DSU) reanchor(i int, st *core.Stats) int {
+	old := d.anchors[i]
+	if len(old) == 0 {
+		return 0
+	}
+	issued := 0
+	next := make(map[uint32]struct{}, len(old))
+	for b := range old {
+		var r uint32
+		if st != nil {
+			r = d.locals[i].FindCounted(b, st)
+		} else {
+			r = d.locals[i].Find(b)
+		}
+		if r != b {
+			// b's set merged under a new root; carry its bridge class over.
+			if st != nil {
+				d.bridge.UniteCounted(d.part.Global(i, b), d.part.Global(i, r), st)
+			} else {
+				d.bridge.Unite(d.part.Global(i, b), d.part.Global(i, r))
+			}
+			issued++
+		}
+		next[r] = struct{}{}
+	}
+	d.anchors[i] = next
+	return issued
+}
+
+// Result describes one sharded batch run, aggregating the per-shard engine
+// results, the bridge reconciliation run, and the classification counts.
+type Result struct {
+	// Intra and Spill count the batch's edges after classification;
+	// SelfLoops counts edges dropped during routing (X == Y).
+	Intra, Spill, SelfLoops int
+	// Merged counts structural merges performed by this call: local merges
+	// plus bridge merges. It is ≥ the count a flat DSU would report for the
+	// same batch — an intra-shard edge joining two locally-separate sets
+	// already connected through the bridge merges locally without dropping
+	// the global component count. The partition itself is always exactly the
+	// flat partition.
+	Merged int64
+	// Reanchors counts closure-restoring bridge unions issued by this call.
+	Reanchors int
+	// PerShard holds each shard's local engine run (zero value for shards
+	// that received no intra edges), in shard order.
+	PerShard []engine.Result
+	// Bridge is the engine run that drove the spill list through the bridge
+	// forest (zero value when the batch had no cross-shard edges).
+	Bridge engine.Result
+	// ReanchorStats accounts the work of the re-anchor passes.
+	ReanchorStats core.Stats
+	// Elapsed is the wall-clock duration of the whole batch call:
+	// classification, local runs, re-anchoring, and reconciliation.
+	Elapsed time.Duration
+}
+
+// Stats returns the summed work counters of every phase of the run.
+func (r Result) Stats() core.Stats {
+	var total core.Stats
+	for i := range r.PerShard {
+		total.Add(r.PerShard[i].Stats())
+	}
+	total.Add(r.Bridge.Stats())
+	total.Add(r.ReanchorStats)
+	return total
+}
+
+// UniteAll merges across every edge of the batch: intra-shard edges route
+// to their shard's own engine run (all shards driven in parallel), while
+// cross-shard edges defer into a spill list resolved by the reconciliation
+// pass — local roots united through the bridge, after re-anchoring restores
+// the closure invariant for every shard whose local phase merged. The final
+// partition equals a flat DSU's partition for the same batch, for any shard
+// count, worker count, and schedule.
+func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cfg.Prefilter {
+		edges = engine.Prefilter(edges)
+		cfg.Prefilter = false // don't re-filter inside the per-shard runs
+	}
+	s := d.part.Shards()
+	res := Result{PerShard: make([]engine.Result, s)}
+	if len(edges) == 0 || s == 0 {
+		return res
+	}
+	start := time.Now()
+
+	// Classify: route each edge to its shard (in local coordinates) or to
+	// the spill list (in global coordinates). Self-loops are dropped here —
+	// cheaper than letting even the engine's skip path touch them twice.
+	intra := make([][]engine.Edge, s)
+	var spill []engine.Edge
+	for _, e := range edges {
+		if e.X == e.Y {
+			res.SelfLoops++
+			continue
+		}
+		i, j := d.part.ShardOf(e.X), d.part.ShardOf(e.Y)
+		if i == j {
+			intra[i] = append(intra[i], engine.Edge{X: d.part.Local(e.X), Y: d.part.Local(e.Y)})
+		} else {
+			spill = append(spill, e)
+		}
+	}
+	active := 0
+	for i := range intra {
+		if len(intra[i]) > 0 {
+			res.Intra += len(intra[i])
+			active++
+		}
+	}
+	res.Spill = len(spill)
+
+	// Local phase: every shard with intra edges runs its own engine batch,
+	// concurrently with the others, splitting the worker budget. Each
+	// shard's goroutine follows its run with that shard's re-anchor pass —
+	// it only needs its own local state, and bridge unions are wait-free,
+	// so no barrier is needed between shards.
+	if active > 0 {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		per := workers / active
+		if per < 1 {
+			per = 1
+		}
+		reanchors := make([]int, s)
+		reanchorStats := make([]core.Stats, s)
+		var wg sync.WaitGroup
+		for i := range intra {
+			if len(intra[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lcfg := cfg
+				lcfg.Workers = per
+				lcfg.Seed = randutil.Mix64(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
+				res.PerShard[i] = engine.UniteAll(d.locals[i], intra[i], lcfg)
+				if res.PerShard[i].Merged > 0 {
+					// Roots may have changed; restore the closure invariant.
+					reanchors[i] = d.reanchor(i, &reanchorStats[i])
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := range reanchors {
+			res.Reanchors += reanchors[i]
+			res.ReanchorStats.Add(reanchorStats[i])
+		}
+	}
+
+	// Reconciliation: drive the spill list through the engine against the
+	// bridge target — each edge resolves its endpoints to their shard-local
+	// roots and unites the roots' global ids in the bridge. With closure
+	// restored above, a bridge merge here is exactly a global merge.
+	if len(spill) > 0 {
+		bcfg := cfg
+		bcfg.Seed = randutil.Mix64(cfg.Seed ^ 0xb51d6e5b111d6e)
+		res.Bridge = engine.UniteAll(bridgeTarget{d}, spill, bcfg)
+		// Anchor the spill representatives: local finds are cheap now that
+		// the reconciliation run compacted the paths, and anchoring roots
+		// (rather than raw endpoints) lets hot components share one anchor.
+		for _, e := range spill {
+			i, j := d.part.ShardOf(e.X), d.part.ShardOf(e.Y)
+			d.anchors[i][d.locals[i].Find(d.part.Local(e.X))] = struct{}{}
+			d.anchors[j][d.locals[j].Find(d.part.Local(e.Y))] = struct{}{}
+		}
+	}
+
+	for i := range res.PerShard {
+		res.Merged += res.PerShard[i].Merged
+	}
+	res.Merged += res.Bridge.Merged
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// SameSetAll answers pairs[i] into element i of the returned slice through
+// the two-level structure, fanned out over the engine's worker pool. Each
+// answer carries the query contract of SameSet.
+func (d *DSU) SameSetAll(pairs []engine.Edge, cfg engine.Config) ([]bool, engine.Result) {
+	return engine.SameSetAll(bridgeTarget{d}, pairs, cfg)
+}
+
+// bridgeTarget adapts the two-level structure to the engine. In Unite mode
+// it implements spill reconciliation: resolve both endpoints to shard-local
+// roots, then unite the roots' global ids in the bridge. In SameSet mode it
+// answers through the two-level rep. It must only be driven in Unite mode
+// while the structure's mutation lock is held.
+type bridgeTarget struct{ d *DSU }
+
+func (t bridgeTarget) UniteCounted(x, y uint32, st *core.Stats) bool {
+	d := t.d
+	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
+	lx := d.locals[i].FindCounted(d.part.Local(x), st)
+	ly := d.locals[j].FindCounted(d.part.Local(y), st)
+	return d.bridge.UniteCounted(d.part.Global(i, lx), d.part.Global(j, ly), st)
+}
+
+func (t bridgeTarget) SameSetCounted(x, y uint32, st *core.Stats) bool {
+	return t.d.sameSet(x, y, st)
+}
+
+// CanonicalLabels returns the min-element labelling of the global
+// partition. Quiescent-state use only, like the flat structure's.
+func (d *DSU) CanonicalLabels() []uint32 {
+	n := d.part.N()
+	rep := make([]uint32, n)
+	for i := 0; i < d.part.Shards(); i++ {
+		parent := d.locals[i].Snapshot()
+		repOf := make(map[uint32]uint32, 16)
+		for lx := range parent {
+			r := uint32(lx)
+			for parent[r] != r {
+				r = parent[r]
+			}
+			br, ok := repOf[r]
+			if !ok {
+				br = d.bridge.Find(d.part.Global(i, r))
+				repOf[r] = br
+			}
+			rep[d.part.Global(i, uint32(lx))] = br
+		}
+	}
+	minOf := make(map[uint32]uint32, 16)
+	for x := 0; x < n; x++ {
+		if m, ok := minOf[rep[x]]; !ok || uint32(x) < m {
+			minOf[rep[x]] = uint32(x)
+		}
+	}
+	labels := make([]uint32, n)
+	for x := range labels {
+		labels[x] = minOf[rep[x]]
+	}
+	return labels
+}
+
+// Sets counts the current number of global sets. Quiescent-state use only.
+func (d *DSU) Sets() int {
+	labels := d.CanonicalLabels()
+	count := 0
+	for x, l := range labels {
+		if uint32(x) == l {
+			count++
+		}
+	}
+	return count
+}

@@ -92,6 +92,53 @@ func ZipfMixed(n, m int, uniteFrac, skew float64, seed uint64) []Op {
 	return ops
 }
 
+// CommunityUnions returns m Unites over n elements grouped into (at most) c
+// contiguous equal-width communities: each edge picks a home community and,
+// with probability pIntra, keeps both endpoints inside it; otherwise the
+// second endpoint lands in a different community. This models the locality
+// of real graphs — most edges stay inside a community, few cross — and,
+// because communities are contiguous blocks, it maps directly onto the
+// sharded structure's block partition (aligned when c is a multiple of the
+// shard count), making it the workload that separates sharded from flat
+// behaviour.
+func CommunityUnions(n, m, c int, pIntra float64, seed uint64) []Op {
+	requirePositive(n, m)
+	if c < 1 || c > n {
+		panic("workload: community count must be in 1..n")
+	}
+	if pIntra < 0 || pIntra > 1 {
+		panic("workload: pIntra outside [0,1]")
+	}
+	rng := randutil.NewXoshiro256(seed)
+	block := (n + c - 1) / c
+	c = (n + block - 1) / block // ceil-width blocks may cover n in fewer pieces
+	pick := func(comm int) uint32 {
+		lo := comm * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		return uint32(lo + rng.Intn(hi-lo))
+	}
+	ops := make([]Op, m)
+	for i := range ops {
+		home := rng.Intn(c)
+		x := pick(home)
+		var y uint32
+		if c == 1 || rng.Float64() < pIntra {
+			y = pick(home)
+		} else {
+			other := rng.Intn(c - 1)
+			if other >= home {
+				other++
+			}
+			y = pick(other)
+		}
+		ops[i] = Op{OpUnite, x, y}
+	}
+	return ops
+}
+
 // Chain returns the n−1 Unites (i, i+1) that join all elements into one
 // long component, a classic adversarial sequence for naive linking.
 func Chain(n int) []Op {

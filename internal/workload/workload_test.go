@@ -19,6 +19,73 @@ func applyAll(d *seqdsu.DSU, ops []Op) {
 	}
 }
 
+func TestCommunityUnionsShape(t *testing.T) {
+	const n, m, c = 120, 600, 6
+	ops := CommunityUnions(n, m, c, 0.9, 5)
+	if len(ops) != m {
+		t.Fatalf("len = %d, want %d", len(ops), m)
+	}
+	block := (n + c - 1) / c
+	intra := 0
+	for i, op := range ops {
+		if op.Kind != OpUnite {
+			t.Fatalf("op %d kind %v", i, op.Kind)
+		}
+		if op.X >= n || op.Y >= n {
+			t.Fatalf("op %d out of range: %v", i, op)
+		}
+		if int(op.X)/block == int(op.Y)/block {
+			intra++
+		}
+	}
+	// With pIntra = 0.9 the intra fraction concentrates near 0.9; a generous
+	// band keeps the check seed-robust while still catching a broken router.
+	if frac := float64(intra) / float64(m); frac < 0.8 || frac > 0.98 {
+		t.Errorf("intra fraction %.3f outside [0.8, 0.98]", frac)
+	}
+	same := CommunityUnions(n, m, c, 0.9, 5)
+	for i := range ops {
+		if ops[i] != same[i] {
+			t.Fatal("CommunityUnions is not deterministic in its seed")
+		}
+	}
+	// All-intra and all-cross extremes.
+	for _, op := range CommunityUnions(n, m, c, 1.0, 7) {
+		if int(op.X)/block != int(op.Y)/block {
+			t.Fatalf("pIntra=1 produced cross edge %v", op)
+		}
+	}
+	for _, op := range CommunityUnions(n, m, c, 0.0, 9) {
+		if int(op.X)/block == int(op.Y)/block {
+			t.Fatalf("pIntra=0 produced intra edge %v", op)
+		}
+	}
+	// Single community degenerates to intra-only regardless of pIntra.
+	for _, op := range CommunityUnions(50, 100, 1, 0.0, 11) {
+		if op.X >= 50 || op.Y >= 50 {
+			t.Fatalf("single community out of range: %v", op)
+		}
+	}
+}
+
+func TestCommunityUnionsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { CommunityUnions(10, 5, 0, 0.5, 1) },
+		func() { CommunityUnions(10, 5, 11, 0.5, 1) },
+		func() { CommunityUnions(10, 5, 2, -0.1, 1) },
+		func() { CommunityUnions(10, 5, 2, 1.1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on invalid CommunityUnions arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestRandomUnionsShape(t *testing.T) {
 	ops := RandomUnions(100, 250, 1)
 	if len(ops) != 250 {
