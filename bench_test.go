@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/dsu"
 	"repro/internal/ackermann"
 	"repro/internal/aw"
 	"repro/internal/core"
@@ -351,6 +352,46 @@ func BenchmarkE19ShardedUniteAll(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				d := shard.New(n, s, core.Config{Seed: 11})
 				d.UniteAll(edges, engine.Config{Workers: 4, Seed: 11})
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+		})
+	}
+}
+
+// BenchmarkE20StreamIngest measures streamed ingestion (dsu.Stream, batches
+// overlapping execution) against the blocking batch loop on one uniform
+// edge stream — the E20 comparison at a fixed buffer size.
+func BenchmarkE20StreamIngest(b *testing.B) {
+	const n = 1 << 18
+	m := 4 * n
+	const buffer = 1 << 16
+	edges := engine.FromOps(workload.RandomUnions(n, m, 10))
+	b.Run("blocking", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := dsu.New(n, dsu.WithSeed(11))
+			for lo := 0; lo < len(edges); lo += buffer {
+				hi := min(lo+buffer, len(edges))
+				d.UniteAll(edges[lo:hi], dsu.WithWorkers(4))
+			}
+		}
+		b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+	})
+	for _, inflight := range []int{1, 2} {
+		b.Run(fmt.Sprintf("stream/inflight=%d", inflight), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := dsu.NewStream(dsu.New(n, dsu.WithSeed(11)),
+					dsu.WithBufferSize(buffer),
+					dsu.WithMaxInFlight(inflight),
+					dsu.WithBatchOptions(dsu.WithWorkers(4)))
+				for lo := 0; lo < len(edges); lo += 8192 {
+					hi := min(lo+8192, len(edges))
+					if err := s.Push(edges[lo:hi]...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
 		})

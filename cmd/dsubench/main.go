@@ -8,10 +8,11 @@
 //
 // With no -exp it runs everything. Output is GitHub-flavoured Markdown on
 // stdout, suitable for pasting into EXPERIMENTS.md. Experiment ids match
-// case-insensitively, and the two systems tables answer to aliases:
+// case-insensitively, and the systems tables answer to aliases:
 //
 //	dsubench -exp batch   # E18, batch-engine throughput
 //	dsubench -exp shard   # E19, sharded DSU vs flat engine
+//	dsubench -exp stream  # E20, stream vs blocking-batch ingestion
 package main
 
 import (

@@ -4,12 +4,15 @@
 //
 // The public library lives in repro/dsu: point operations (Unite, SameSet,
 // Find), batched bulk operations (UniteAll, SameSetAll) that fan an edge
-// list out over a work-stealing worker pool, and a sharded structure
+// list out over a work-stealing worker pool, a sharded structure
 // (Sharded) that partitions the universe across per-shard engines with
-// cross-shard reconciliation. The substrates — the APRAM simulator,
+// cross-shard reconciliation, and a streaming ingestion front (Stream)
+// that overlaps batch accumulation with execution behind backpressure and
+// per-batch completion callbacks. The substrates — the APRAM simulator,
 // sequential baselines, the Anderson–Woll comparator, the linearizability
 // checker, workload generators, the batch engine, the sharded subsystem,
-// and the experiment harness — live under internal/. See README.md for the map,
+// the ingestion pipeline, and the experiment harness — live under
+// internal/. See README.md for the map,
 // DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate one measurement per experiment; cmd/dsubench

@@ -27,6 +27,10 @@
 // (lock-free; see the paper's Section 3 remark). For universes past one
 // parent array's cache footprint, NewSharded partitions the elements
 // across per-shard engines with cross-shard reconciliation (see Sharded).
+// For edges that arrive over time, NewStream wraps either structure in an
+// asynchronous ingestion front: pushes accumulate into double-buffered
+// batches executed in the background, with backpressure and per-batch
+// completion callbacks (see Stream).
 package dsu
 
 import "repro/internal/core"

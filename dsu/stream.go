@@ -1,0 +1,219 @@
+package dsu
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+// BatchResult reports one executed stream batch to the OnBatch callback:
+// batch id (1-based seal order), edge count, merges, filter drops, summed
+// work stats, elapsed time, and the execution error for abandoned batches.
+type BatchResult = pipeline.Result
+
+// ErrStreamClosed is reported by Stream.Push and Stream.Flush after Close.
+var ErrStreamClosed = pipeline.ErrClosed
+
+// StreamBackend is the structure a Stream ingests into. Both *DSU and
+// *Sharded implement it; the interface is closed (unexported methods)
+// because the stream's correctness contract — a batch sequence produces
+// exactly the blocking UniteAll partition — is proved against those two.
+type StreamBackend interface {
+	batchExec(edges []Edge, cfg engine.Config) pipeline.Result
+	batchSeed() uint64
+}
+
+func (d *DSU) batchExec(edges []Edge, cfg engine.Config) pipeline.Result {
+	res := engine.UniteAll(d.c, edges, cfg)
+	return pipeline.Result{Merged: res.Merged, Filtered: res.Filtered, Stats: res.Stats(), Elapsed: res.Elapsed}
+}
+
+func (d *DSU) batchSeed() uint64 { return d.c.Config().Seed }
+
+func (d *Sharded) batchExec(edges []Edge, cfg engine.Config) pipeline.Result {
+	res := d.s.UniteAll(edges, cfg)
+	return pipeline.Result{Merged: res.Merged, Filtered: res.Filtered, Stats: res.Stats(), Elapsed: res.Elapsed}
+}
+
+func (d *Sharded) batchSeed() uint64 { return d.seed }
+
+// streamConfig resolves the StreamOption list.
+type streamConfig struct {
+	buffer   int
+	inflight int
+	ctx      context.Context
+	onBatch  func(BatchResult)
+	defaults []BatchOption
+}
+
+// StreamOption configures NewStream.
+type StreamOption interface {
+	applyStream(*streamConfig)
+}
+
+type streamOptionFunc func(*streamConfig)
+
+func (f streamOptionFunc) applyStream(c *streamConfig) { f(c) }
+
+// WithBufferSize sets the seal threshold in edges: a batch dispatches as
+// soon as the active buffer holds this many. Values ≤ 0 select the
+// default (65536). Smaller buffers lower latency and sharpen overlap;
+// larger buffers amortize the engine's dispatch cost — E20 sweeps the
+// trade.
+func WithBufferSize(n int) StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.buffer = n })
+}
+
+// WithMaxInFlight bounds how many sealed batches may exist past the
+// accumulator (waiting plus executing); values ≤ 0 select 1, classic
+// double buffering. A Push that would seal beyond the bound blocks until
+// the dispatcher catches up — the stream's backpressure contract.
+func WithMaxInFlight(n int) StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.inflight = n })
+}
+
+// WithStreamContext attaches a cancellation context: once ctx is
+// cancelled, batches not yet executing are abandoned — their callbacks
+// fire with Err set and their edges never reach the structure — and Close
+// returns ctx's error if the cancellation abandoned anything. A batch
+// already inside UniteAll completes.
+func WithStreamContext(ctx context.Context) StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.ctx = ctx })
+}
+
+// WithOnBatch registers the per-batch completion callback. It runs on the
+// stream's dispatcher goroutine: serialized, in batch-id order, exactly
+// once per sealed batch (abandoned ones included, with Err set). A
+// callback that blocks stalls ingestion — results apply backpressure too —
+// and it must not call the stream's own Push, Flush, or Close: sealing or
+// closing from inside the callback waits on the dispatcher that is busy
+// running the callback, and deadlocks.
+func WithOnBatch(fn func(BatchResult)) StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.onBatch = fn })
+}
+
+// WithBatchOptions sets the BatchOptions applied to every batch the
+// stream dispatches — worker count, grain, filters. A Flush call may
+// override them per batch: its options apply after these, so they win
+// field by field.
+func WithBatchOptions(opts ...BatchOption) StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.defaults = opts })
+}
+
+// Stream is the asynchronous ingestion front over a DSU or Sharded
+// backend: Push accumulates edges into batches that a background
+// dispatcher drives through UniteAll while the next batch fills, so the
+// caller streams edges instead of blocking per batch. Batches execute
+// strictly in seal order on one dispatcher, which is why a stream
+// produces exactly the partition of a blocking UniteAll loop over the
+// same edge sequence — on either backend, for any buffer size.
+//
+// Push, Flush, and Close are safe for concurrent producers. Concurrent
+// queries against the backend (SameSet, Find) follow the backend's own
+// contract: on *DSU they are linearizable against whatever batches have
+// executed; on *Sharded the true-is-definite rule applies. The backend
+// must not be mutated outside the stream while the stream is open if
+// batch/blocking equivalence is to hold.
+type Stream struct {
+	p        *pipeline.Pipeline
+	defaults []BatchOption
+
+	batches  atomic.Uint64
+	edges    atomic.Int64
+	merged   atomic.Int64
+	filtered atomic.Int64
+	failed   atomic.Uint64
+}
+
+// NewStream starts a stream ingesting into b. The returned Stream owns a
+// dispatcher goroutine; Close releases it.
+//
+//	d := dsu.New(n)
+//	s := dsu.NewStream(d,
+//	        dsu.WithBufferSize(1<<16),
+//	        dsu.WithOnBatch(func(r dsu.BatchResult) { log(r.ID, r.Merged) }))
+//	for e := range arrivals { s.Push(e) }
+//	s.Close() // flush remainder, drain, stop
+func NewStream(b StreamBackend, opts ...StreamOption) *Stream {
+	cfg := streamConfig{}
+	for _, o := range opts {
+		o.applyStream(&cfg)
+	}
+	s := &Stream{defaults: cfg.defaults}
+	exec := func(edges []engine.Edge, o any) pipeline.Result {
+		bopts := s.defaults
+		if extra, ok := o.([]BatchOption); ok && len(extra) > 0 {
+			bopts = append(append([]BatchOption{}, s.defaults...), extra...)
+		}
+		return b.batchExec(edges, batchConfig(b.batchSeed(), bopts))
+	}
+	s.p = pipeline.New(exec, pipeline.Config{
+		BufferSize:  cfg.buffer,
+		MaxInFlight: cfg.inflight,
+		Context:     cfg.ctx,
+		Callback: func(r pipeline.Result) {
+			s.batches.Add(1)
+			s.edges.Add(int64(r.Edges))
+			if r.Err != nil {
+				s.failed.Add(1)
+			} else {
+				s.merged.Add(r.Merged)
+				s.filtered.Add(int64(r.Filtered))
+			}
+			if cfg.onBatch != nil {
+				cfg.onBatch(r)
+			}
+		},
+	})
+	return s
+}
+
+// Push appends edges to the stream, sealing and dispatching a batch each
+// time the buffer reaches the threshold. It blocks while the stream is
+// MaxInFlight batches ahead of the dispatcher and returns ErrStreamClosed
+// after Close. Edges are copied before Push returns.
+func (s *Stream) Push(edges ...Edge) error { return s.p.Push(edges...) }
+
+// Flush seals the current buffer even below the threshold. Options, if
+// given, override the stream's WithBatchOptions defaults for this batch
+// only (applied after them, so they win field by field) — per-batch
+// worker counts or filters without rebuilding the stream. Flushing an
+// empty buffer is a no-op.
+func (s *Stream) Flush(opts ...BatchOption) error {
+	if len(opts) == 0 {
+		return s.p.Flush(nil)
+	}
+	return s.p.Flush(opts)
+}
+
+// BufferSize returns the resolved seal threshold.
+func (s *Stream) BufferSize() int { return s.p.BufferSize() }
+
+// Close flushes any buffered remainder, waits for every sealed batch to
+// execute and its callback to return, and stops the dispatcher. It
+// returns the stream context's error when a cancellation abandoned at
+// least one batch (Failed reports how many), nil otherwise — a
+// cancellation arriving after everything executed lost nothing and is
+// not an error. Close is idempotent, and the totals below are final once
+// it returns.
+func (s *Stream) Close() error { return s.p.Close() }
+
+// Batches returns the number of batch callbacks delivered so far
+// (abandoned batches included).
+func (s *Stream) Batches() uint64 { return s.batches.Load() }
+
+// Edges returns the total edges across delivered batches.
+func (s *Stream) Edges() int64 { return s.edges.Load() }
+
+// Merged returns the total merges across successfully executed batches.
+func (s *Stream) Merged() int64 { return s.merged.Load() }
+
+// Filtered returns the total edges dropped by filter passes across
+// successfully executed batches.
+func (s *Stream) Filtered() int64 { return s.filtered.Load() }
+
+// Failed returns the number of abandoned batches (context cancellation or
+// a panicking batch run).
+func (s *Stream) Failed() uint64 { return s.failed.Load() }

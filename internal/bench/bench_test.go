@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("registered %d experiments, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("registered %d experiments, want 20", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -35,6 +35,9 @@ func TestByID(t *testing.T) {
 	}
 	if e, ok := ByID("shard"); !ok || e.ID != "E19" {
 		t.Fatal("ByID(shard) should alias E19")
+	}
+	if e, ok := ByID("stream"); !ok || e.ID != "E20" {
+		t.Fatal("ByID(stream) should alias E20")
 	}
 	for _, id := range []string{"e19", "E19", "SHARD"} {
 		if e, ok := ByID(id); !ok || e.ID != "E19" {

@@ -91,6 +91,12 @@ type Stats struct {
 	Finds       int64 // find executions
 	Links       int64 // successful links (CAS that changed a root's parent)
 	Ops         int64 // SameSet/Unite operations completed
+	// Filtered counts batch edges dropped by a filter pass (prefilter dedup
+	// or the connected screen) before they reached the structure. It is set
+	// by the batch layers, not by point operations, and is excluded from
+	// Work(): a dropped edge did no shared-memory work beyond what the
+	// screen itself already tallied in the fields above.
+	Filtered int64
 }
 
 // Add accumulates other into s.
@@ -103,6 +109,7 @@ func (s *Stats) Add(other Stats) {
 	s.Finds += other.Finds
 	s.Links += other.Links
 	s.Ops += other.Ops
+	s.Filtered += other.Filtered
 }
 
 // Work returns total shared-memory steps: reads plus CAS attempts, the

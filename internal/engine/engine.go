@@ -78,6 +78,16 @@ type Config struct {
 	// reflect the filtered batch. SameSetAll ignores the flag — its answers
 	// are indexed by the caller's slice.
 	Prefilter bool
+	// ConnectedFilter screens the batch through SameSet before UniteAll
+	// dispatches it, dropping edges whose endpoints are already connected.
+	// The screen is racy but sound: a true SameSet answer is definite even
+	// concurrently with mutations (witnessed relations only grow), so a
+	// dropped edge could never have merged — the final partition and merge
+	// count are exactly those of the unscreened batch. The screen itself
+	// runs through the same worker pool in SameSet mode; its work and
+	// elapsed time land in Result.FilterStats / Result.FilterElapsed.
+	// SameSetAll ignores the flag, like Prefilter.
+	ConnectedFilter bool
 }
 
 // defaultGrain amortizes one claim CAS over enough unite/query work to make
@@ -97,19 +107,31 @@ type Result struct {
 	Merged int64
 	// Steals counts successful span steals — a load-imbalance diagnostic.
 	Steals int64
-	// Elapsed is the wall-clock duration of the parallel phase, plus the
-	// prefilter pass when Config.Prefilter enabled one.
+	// Filtered counts edges dropped before dispatch by the batch's filter
+	// passes (Prefilter dedup and/or the ConnectedFilter screen).
+	Filtered int
+	// FilterElapsed is the wall-clock time of those passes; Elapsed
+	// includes it, so Elapsed stays end-to-end.
+	FilterElapsed time.Duration
+	// FilterStats holds the shared-memory work of the filter passes (the
+	// connected screen's finds; the dedup pass touches no shared memory)
+	// plus the Filtered tally, so Counted callers see the drops too.
+	FilterStats core.Stats
+	// Elapsed is the wall-clock duration of the parallel phase, plus any
+	// filter passes the Config enabled.
 	Elapsed time.Duration
 	// PerWorker holds each worker's operation counters, in worker order.
 	PerWorker []core.Stats
 }
 
-// Stats returns the summed work counters of all workers.
+// Stats returns the summed work counters of all workers, plus the filter
+// passes' work when the Config enabled any.
 func (r Result) Stats() core.Stats {
 	var total core.Stats
 	for i := range r.PerWorker {
 		total.Add(r.PerWorker[i])
 	}
+	total.Add(r.FilterStats)
 	return total
 }
 
@@ -121,15 +143,50 @@ func (r Result) Stats() core.Stats {
 // loop without reaching the Target: they can never merge, so they cost one
 // comparison instead of two finds.
 func UniteAll(t Target, edges []Edge, cfg Config) Result {
-	var filter time.Duration
+	var filtered int
+	var filterElapsed time.Duration
+	var filterStats core.Stats
 	if cfg.Prefilter {
 		start := time.Now()
-		edges = Prefilter(edges)
-		filter = time.Since(start)
+		kept := Prefilter(edges)
+		filtered += len(edges) - len(kept)
+		filterElapsed += time.Since(start)
+		edges = kept
+	}
+	if cfg.ConnectedFilter {
+		start := time.Now()
+		kept, sres := ScreenConnected(t, edges, cfg)
+		filtered += len(edges) - len(kept)
+		filterElapsed += time.Since(start)
+		filterStats.Add(sres.Stats())
+		edges = kept
 	}
 	res := run(t, edges, cfg, nil)
-	res.Elapsed += filter // Elapsed stays end-to-end: the filter pass counts
+	res.Filtered = filtered
+	res.FilterElapsed = filterElapsed
+	res.FilterStats = filterStats
+	res.FilterStats.Filtered = int64(filtered)
+	res.Elapsed += filterElapsed // Elapsed stays end-to-end: filter passes count
 	return res
+}
+
+// ScreenConnected drops edges whose endpoints are already connected,
+// answering the batch through the pool in SameSet mode and compacting the
+// survivors. Sound because a true SameSet is definite (see
+// Config.ConnectedFilter); the screen's Result carries its work counters.
+// The sharded path reuses it against its two-level target, which is how
+// the screen stays one implementation across both batch paths.
+func ScreenConnected(t Target, edges []Edge, cfg Config) ([]Edge, Result) {
+	scfg := cfg
+	scfg.Prefilter, scfg.ConnectedFilter = false, false
+	connected, sres := SameSetAll(t, edges, scfg)
+	kept := make([]Edge, 0, len(edges))
+	for i, e := range edges {
+		if !connected[i] {
+			kept = append(kept, e)
+		}
+	}
+	return kept, sres
 }
 
 // Prefilter returns the batch with self-loop edges and exact duplicates

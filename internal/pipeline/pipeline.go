@@ -1,0 +1,294 @@
+// Package pipeline is the asynchronous streaming ingestion subsystem: an
+// accumulator that grows edges into double-buffered batches, a bounded
+// channel handing sealed batches to a dispatcher, and per-batch completion
+// callbacks — so callers stream edges and results instead of blocking per
+// batch. Alistarh et al. ("In Search of the Fastest Concurrent Union-Find
+// Algorithm") observe that throughput is dominated by keeping workers fed;
+// overlapping batch accumulation with UniteAll execution is this repo's
+// answer (the ROADMAP's async-pipelines item).
+//
+// # Shape
+//
+// Push appends edges to the active buffer. When the buffer reaches the
+// seal threshold (or Flush seals it explicitly), the batch is handed to
+// the dispatcher over a channel whose capacity bounds the number of sealed
+// batches waiting past the accumulator — MaxInFlight is the backpressure
+// knob, and its default of one is classic double buffering: the dispatcher
+// executes batch k while the accumulator fills batch k+1, and a producer
+// that gets two batches ahead blocks in Push until the dispatcher catches
+// up. Buffers recycle through a small free list, so steady-state ingestion
+// allocates nothing per batch.
+//
+// The dispatcher is a single goroutine: batches execute strictly in seal
+// order, the callback fires exactly once per sealed batch (execution
+// errors included), callbacks are serialized and ordered by batch id, and
+// Close returns only after every sealed batch's callback has returned.
+// Parallelism lives inside Exec (the engine's worker pool), not in the
+// dispatch loop — which is what makes a stream of batches produce exactly
+// the partition of a blocking batch loop over the same edge sequence.
+//
+// # Shutdown
+//
+// Close seals any buffered remainder, drains all in-flight work, and stops
+// the dispatcher. Cancelling the Config.Context aborts instead: batches
+// not yet executing when the cancellation is observed are abandoned — their
+// callbacks fire with Err set and the structure never sees their edges —
+// while an Exec already running completes (the engine has no preemption
+// points). Push and Flush after Close report ErrClosed.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// ErrClosed is reported by Push and Flush after Close.
+var ErrClosed = errors.New("pipeline: closed")
+
+// defaultBufferSize matches the engine's sweet spot: big enough that the
+// pool's span protocol is amortized, small enough to keep latency bounded.
+const defaultBufferSize = 1 << 16
+
+// Result reports one sealed batch's execution, delivered to the callback
+// exactly once per batch, in batch-id order.
+type Result struct {
+	// ID is the batch's 1-based seal sequence number.
+	ID uint64
+	// Edges is the sealed batch's edge count (before any filter pass).
+	Edges int
+	// Merged counts merges the batch performed (see the backend's UniteAll
+	// for exact semantics). Zero when Err is set.
+	Merged int64
+	// Filtered counts edges dropped by the batch's filter passes.
+	Filtered int
+	// Stats sums the batch run's work counters across every phase.
+	Stats core.Stats
+	// Elapsed is the batch's end-to-end execution time (filters included).
+	Elapsed time.Duration
+	// Err is non-nil when the batch was abandoned (context cancelled
+	// before execution) or its Exec panicked; the batch's edges did not
+	// (fully) reach the structure.
+	Err error
+}
+
+// Exec runs one sealed batch against the backing structure and reports
+// what it did. opts is the opaque per-batch override payload a caller
+// passed to Flush (nil for size-triggered seals); the dsu layer threads
+// its batch options through it. Exec runs on the dispatcher goroutine;
+// panics are recovered into Result.Err.
+type Exec func(edges []engine.Edge, opts any) Result
+
+// Config tunes one Pipeline.
+type Config struct {
+	// BufferSize is the seal threshold in edges; values ≤ 0 select the
+	// default (65536). Size-triggered batches hold exactly BufferSize
+	// edges; Flush and Close may seal shorter ones.
+	BufferSize int
+	// MaxInFlight bounds how many sealed batches may exist past the
+	// accumulator (waiting or executing); values ≤ 0 select 1, classic
+	// double buffering. A Push or Flush that would seal beyond the bound
+	// blocks until the dispatcher frees a slot — the backpressure contract.
+	MaxInFlight int
+	// Callback, when non-nil, receives every batch's Result on the
+	// dispatcher goroutine: serialized, in batch-id order, exactly once
+	// per sealed batch. It must return; a callback that blocks stalls the
+	// whole pipeline (that is the point — results apply backpressure too).
+	// It must not call back into the pipeline: a Push or Flush that seals
+	// a batch from inside the callback blocks sending to the dispatcher —
+	// which is busy running the callback — and a Close waits for a
+	// dispatcher that is waiting on the callback; either deadlocks.
+	Callback func(Result)
+	// Context, when non-nil, aborts the pipeline on cancellation: batches
+	// observed after the cancellation are abandoned with their callbacks
+	// fired Err-set. nil means never cancelled.
+	Context context.Context
+}
+
+// sealed is one batch in flight between the accumulator and dispatcher.
+type sealed struct {
+	id    uint64
+	edges []engine.Edge
+	opts  any
+}
+
+// Pipeline is the streaming ingestion front. Push, Flush, and Close are
+// safe for concurrent use by any number of producers; the zero value is
+// not usable, call New.
+type Pipeline struct {
+	exec Exec
+	cb   func(Result)
+	ctx  context.Context
+	size int
+
+	mu     sync.Mutex
+	buf    []engine.Edge
+	nextID uint64
+	closed bool
+
+	batches chan sealed        // capacity MaxInFlight−1; the executing batch is the +1
+	free    chan []engine.Edge // recycled buffers
+	done    chan struct{}      // closed when the dispatcher exits
+	// abandoned records that a cancellation cost at least one batch. Only
+	// the dispatcher writes it, before done closes; Close reads it after
+	// <-done, so the channel close orders the accesses.
+	abandoned bool
+}
+
+// New starts a pipeline delivering sealed batches to exec. It panics on a
+// nil exec; the returned Pipeline must be Closed to release its
+// dispatcher.
+func New(exec Exec, cfg Config) *Pipeline {
+	if exec == nil {
+		panic("pipeline: nil Exec")
+	}
+	size := cfg.BufferSize
+	if size <= 0 {
+		size = defaultBufferSize
+	}
+	inflight := cfg.MaxInFlight
+	if inflight <= 0 {
+		inflight = 1
+	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &Pipeline{
+		exec:    exec,
+		cb:      cfg.Callback,
+		ctx:     ctx,
+		size:    size,
+		buf:     make([]engine.Edge, 0, size),
+		batches: make(chan sealed, inflight-1),
+		free:    make(chan []engine.Edge, inflight+1),
+		done:    make(chan struct{}),
+	}
+	go p.dispatch()
+	return p
+}
+
+// BufferSize returns the resolved seal threshold.
+func (p *Pipeline) BufferSize() int { return p.size }
+
+// Push appends edges to the active buffer, sealing a batch each time the
+// buffer reaches the threshold. It blocks while the dispatcher is
+// MaxInFlight batches behind and returns ErrClosed after Close. Edges are
+// copied before Push returns; the caller may reuse its slice.
+func (p *Pipeline) Push(edges ...engine.Edge) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	for len(edges) > 0 {
+		take := p.size - len(p.buf)
+		if take > len(edges) {
+			take = len(edges)
+		}
+		p.buf = append(p.buf, edges[:take]...)
+		edges = edges[take:]
+		if len(p.buf) >= p.size {
+			p.sealLocked(nil)
+		}
+	}
+	return nil
+}
+
+// Flush seals the active buffer even below the threshold, passing opts as
+// the batch's per-batch override payload (nil uses the stream defaults).
+// Flushing an empty buffer is a no-op: no batch, no callback. Flush
+// blocks under the same backpressure as Push and returns ErrClosed after
+// Close.
+func (p *Pipeline) Flush(opts any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if len(p.buf) > 0 {
+		p.sealLocked(opts)
+	}
+	return nil
+}
+
+// sealLocked hands the active buffer to the dispatcher and installs a
+// fresh one. The blocking send is the backpressure. For any producer off
+// the dispatcher goroutine it cannot deadlock — the dispatcher drains the
+// channel unconditionally until Close, fast-failing batches after a
+// context cancellation instead of stopping — but a seal from inside the
+// callback blocks against the dispatcher running that callback, which is
+// why Config.Callback forbids re-entrant calls.
+func (p *Pipeline) sealLocked(opts any) {
+	p.nextID++
+	p.batches <- sealed{id: p.nextID, edges: p.buf, opts: opts}
+	select {
+	case b := <-p.free:
+		p.buf = b
+	default:
+		p.buf = make([]engine.Edge, 0, p.size)
+	}
+}
+
+// Close seals any buffered remainder, waits for every sealed batch to
+// execute and its callback to return, and stops the dispatcher. It
+// returns the context's error when a cancellation abandoned at least one
+// batch, nil otherwise — a cancellation that arrives after every batch
+// already executed lost nothing and is not an error. Close is idempotent
+// and safe concurrently with producers: a producer blocked in Push
+// finishes first, then sees ErrClosed on its next call.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		if len(p.buf) > 0 {
+			p.sealLocked(nil)
+		}
+		close(p.batches)
+	}
+	p.mu.Unlock()
+	<-p.done
+	if p.abandoned {
+		return p.ctx.Err()
+	}
+	return nil
+}
+
+// dispatch is the single dispatcher goroutine: execute batches in seal
+// order, deliver callbacks, recycle buffers.
+func (p *Pipeline) dispatch() {
+	defer close(p.done)
+	for b := range p.batches {
+		res := p.runBatch(b)
+		res.ID = b.id
+		res.Edges = len(b.edges)
+		if p.cb != nil {
+			p.cb(res)
+		}
+		select {
+		case p.free <- b.edges[:0]:
+		default: // free list full; let the buffer go to the GC
+		}
+	}
+}
+
+// runBatch executes one sealed batch, converting a context cancellation
+// into an abandoned Result and an Exec panic into an error the stream
+// survives.
+func (p *Pipeline) runBatch(b sealed) (res Result) {
+	if err := p.ctx.Err(); err != nil {
+		p.abandoned = true
+		return Result{Err: err}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{Err: fmt.Errorf("pipeline: batch %d exec panicked: %v", b.id, r)}
+		}
+	}()
+	return p.exec(b.edges, b.opts)
+}

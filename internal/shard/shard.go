@@ -239,6 +239,16 @@ type Result struct {
 	Merged int64
 	// Reanchors counts closure-restoring bridge unions issued by this call.
 	Reanchors int
+	// Filtered counts edges dropped before routing by the batch's filter
+	// passes (Prefilter dedup and/or the connected screen), mirroring
+	// engine.Result.Filtered so the flat and sharded paths report alike.
+	Filtered int
+	// FilterElapsed is the wall-clock time of those passes; Elapsed
+	// includes it.
+	FilterElapsed time.Duration
+	// FilterStats accounts the filter passes' shared-memory work (the
+	// connected screen's two-level finds) plus the Filtered tally.
+	FilterStats core.Stats
 	// PerShard holds each shard's local engine run (zero value for shards
 	// that received no intra edges), in shard order.
 	PerShard []engine.Result
@@ -260,6 +270,7 @@ func (r Result) Stats() core.Stats {
 	}
 	total.Add(r.Bridge.Stats())
 	total.Add(r.ReanchorStats)
+	total.Add(r.FilterStats)
 	return total
 }
 
@@ -273,16 +284,37 @@ func (r Result) Stats() core.Stats {
 func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if cfg.Prefilter {
-		edges = engine.Prefilter(edges)
-		cfg.Prefilter = false // don't re-filter inside the per-shard runs
-	}
 	s := d.part.Shards()
 	res := Result{PerShard: make([]engine.Result, s)}
 	if len(edges) == 0 || s == 0 {
 		return res
 	}
 	start := time.Now()
+
+	// Filter passes run inside the timed region so Elapsed stays
+	// end-to-end, exactly as the flat engine reports it. Both flags are
+	// cleared afterwards: the per-shard and bridge runs must not re-filter.
+	if cfg.Prefilter {
+		fstart := time.Now()
+		kept := engine.Prefilter(edges)
+		res.Filtered += len(edges) - len(kept)
+		res.FilterElapsed += time.Since(fstart)
+		edges = kept
+		cfg.Prefilter = false
+	}
+	if cfg.ConnectedFilter {
+		// The screen answers through the two-level rep under the mutation
+		// lock, so here it is exact, not merely sound: every dropped edge
+		// is globally connected at this linearization point.
+		fstart := time.Now()
+		kept, sres := engine.ScreenConnected(bridgeTarget{d}, edges, cfg)
+		res.Filtered += len(edges) - len(kept)
+		res.FilterElapsed += time.Since(fstart)
+		res.FilterStats.Add(sres.Stats())
+		edges = kept
+		cfg.ConnectedFilter = false
+	}
+	res.FilterStats.Filtered = int64(res.Filtered)
 
 	// Classify: route each edge to its shard (in local coordinates) or to
 	// the spill list (in global coordinates). Self-loops are dropped here —
