@@ -13,6 +13,7 @@
 //	dsubench -exp batch   # E18, batch-engine throughput
 //	dsubench -exp shard   # E19, sharded DSU vs flat engine
 //	dsubench -exp stream  # E20, stream vs blocking-batch ingestion
+//	dsubench -exp adapt   # E21, adaptive vs fixed find variants
 package main
 
 import (

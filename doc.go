@@ -6,13 +6,18 @@
 // Find), batched bulk operations (UniteAll, SameSetAll) that fan an edge
 // list out over a work-stealing worker pool, a sharded structure
 // (Sharded) that partitions the universe across per-shard engines with
-// cross-shard reconciliation, and a streaming ingestion front (Stream)
+// cross-shard reconciliation, a streaming ingestion front (Stream)
 // that overlaps batch accumulation with execution behind backpressure and
-// per-batch completion callbacks. The substrates — the APRAM simulator,
-// sequential baselines, the Anderson–Woll comparator, the linearizability
-// checker, workload generators, the batch engine, the sharded subsystem,
-// the ingestion pipeline, and the experiment harness — live under
-// internal/. See README.md for the map,
+// per-batch completion callbacks, and an adaptive compaction mode
+// (WithAdaptiveFind) that downgrades query batches to cheaper find
+// variants while the forest is flat. Flat and sharded structures share
+// one Backend surface, and every batch path — blocking, streamed,
+// filtered — drives one unified execution seam per structure. The
+// substrates — the APRAM simulator, sequential baselines, the
+// Anderson–Woll comparator, the linearizability checker, workload
+// generators, the batch engine, the execution layer, the sharded
+// subsystem, the ingestion pipeline, and the experiment harness — live
+// under internal/. See README.md for the map,
 // DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate one measurement per experiment; cmd/dsubench

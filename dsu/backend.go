@@ -1,0 +1,58 @@
+package dsu
+
+import "repro/internal/exec"
+
+// Backend is the common operation surface of *DSU and *Sharded: point
+// operations, batch operations, and quiescent-state inspection. Code
+// written against Backend runs unchanged over the flat and sharded
+// structures — the batch path (UniteAll and friends), the stream front
+// (NewStream), and the filter options all route any Backend through the
+// same internal execution seam, which is also where the adaptive
+// compaction policy lives, so every path behaves identically on either
+// structure.
+//
+// The interface is closed (an unexported method): its contracts — batch ≡
+// blocking partitions, adaptive ≡ fixed partitions, filter soundness — are
+// proved against the two implementations in this package.
+type Backend interface {
+	// N returns the number of elements.
+	N() int
+	// Find returns the representative of x's set at the linearization
+	// point (representatives change as sets merge; prefer SameSet).
+	Find(x uint32) uint32
+	// SameSet reports whether x and y are in the same set, under the
+	// implementation's query contract (exact and linearizable on *DSU;
+	// true-is-definite on *Sharded).
+	SameSet(x, y uint32) bool
+	// Unite merges the sets containing x and y, reporting whether this
+	// call performed the merge.
+	Unite(x, y uint32) bool
+	// UniteAll merges across every edge of the batch and returns the
+	// implementation's merge count (see each type's documentation).
+	UniteAll(edges []Edge, opts ...BatchOption) int
+	// UniteAllCounted is UniteAll with work accounting into st.
+	UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int
+	// SameSetAll answers pairs[i] into element i of the returned slice.
+	SameSetAll(pairs []Edge, opts ...BatchOption) []bool
+	// SameSetAllCounted is SameSetAll with work accounting into st.
+	SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool
+	// Sets returns the number of sets; call at quiescence for exactness.
+	Sets() int
+	// CanonicalLabels returns the min-element labelling of the partition;
+	// call at quiescence.
+	CanonicalLabels() []uint32
+
+	// executor is the internal execution seam every batch, stream, and
+	// filter path drives: one funnel per structure, shared by blocking and
+	// streamed batches so the adaptive policy trains on all of them.
+	executor() *exec.Executor
+}
+
+// StreamBackend is the former name of Backend, kept for callers that
+// predate the unified execution layer.
+type StreamBackend = Backend
+
+var (
+	_ Backend = (*DSU)(nil)
+	_ Backend = (*Sharded)(nil)
+)

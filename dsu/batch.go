@@ -4,41 +4,43 @@ import (
 	"runtime"
 
 	"repro/internal/engine"
+	"repro/internal/exec"
 )
 
 // Edge is one element pair of a batch: an edge to unite across, or a
 // connectivity query to answer.
-type Edge = engine.Edge
+type Edge = exec.Edge
 
 // BatchOption tunes a single batch call (UniteAll, SameSetAll).
 type BatchOption interface {
-	applyBatch(*engine.Config)
+	applyBatch(*exec.Config)
 }
 
-type batchOptionFunc func(*engine.Config)
+type batchOptionFunc func(*exec.Config)
 
-func (f batchOptionFunc) applyBatch(c *engine.Config) { f(c) }
+func (f batchOptionFunc) applyBatch(c *exec.Config) { f(c) }
 
 // WithWorkers fixes the batch worker-pool size. The default (and any
 // value ≤ 0) is runtime.GOMAXPROCS(0); the pool never exceeds the batch
 // length.
 func WithWorkers(workers int) BatchOption {
-	return batchOptionFunc(func(c *engine.Config) { c.Workers = workers })
+	return batchOptionFunc(func(c *exec.Config) { c.Workers = workers })
 }
 
 // WithGrain sets the number of edges a worker claims from the batch at a
 // time. Smaller grains balance skewed batches better; larger grains
 // amortize scheduling overhead. Values ≤ 0 select the default (1024).
 func WithGrain(grain int) BatchOption {
-	return batchOptionFunc(func(c *engine.Config) { c.Grain = grain })
+	return batchOptionFunc(func(c *exec.Config) { c.Grain = grain })
 }
 
-// batchConfig resolves the engine configuration for one batch call. The
-// scheduling seed is plumbed from the structure's WithSeed option, so a
-// structure built for reproducibility also schedules its batches
-// reproducibly.
-func batchConfig(seed uint64, opts []BatchOption) engine.Config {
-	cfg := engine.Config{Workers: runtime.GOMAXPROCS(0), Seed: seed}
+// batchConfig resolves the execution configuration for one batch call —
+// the single options funnel the blocking, sharded, and stream paths all
+// route through. The scheduling seed is plumbed from the structure's
+// WithSeed option, so a structure built for reproducibility also schedules
+// its batches reproducibly.
+func batchConfig(seed uint64, opts []BatchOption) exec.Config {
+	cfg := exec.Config{Workers: runtime.GOMAXPROCS(0), Seed: seed}
 	for _, o := range opts {
 		o.applyBatch(&cfg)
 	}
@@ -52,14 +54,14 @@ func batchConfig(seed uint64, opts []BatchOption) engine.Config {
 // schedule. UniteAll may run concurrently with any other operation,
 // including other batches.
 func (d *DSU) UniteAll(edges []Edge, opts ...BatchOption) int {
-	res := engine.UniteAll(d.c, edges, batchConfig(d.c.Config().Seed, opts))
+	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
 	return int(res.Merged)
 }
 
 // UniteAllCounted is UniteAll, accumulating the pool's summed work
 // counters into st.
 func (d *DSU) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
-	res := engine.UniteAll(d.c, edges, batchConfig(d.c.Config().Seed, opts))
+	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
 	st.Add(res.Stats())
 	return int(res.Merged)
 }
@@ -67,14 +69,17 @@ func (d *DSU) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int 
 // SameSetAll answers pairs[i] into element i of the returned slice, using
 // the same worker pool as UniteAll. Each answer is linearizable; with no
 // concurrent Unites the whole slice is exact for the current partition.
+// Under WithAdaptiveFind this is the query path the adaptive policy may
+// downgrade to a cheaper find variant — the answers are identical either
+// way.
 func (d *DSU) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
-	out, _ := engine.SameSetAll(d.c, pairs, batchConfig(d.c.Config().Seed, opts))
+	out, _ := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
 	return out
 }
 
 // SameSetAllCounted is SameSetAll with work accounting into st.
 func (d *DSU) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
-	out, res := engine.SameSetAll(d.c, pairs, batchConfig(d.c.Config().Seed, opts))
+	out, res := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
 	st.Add(res.Stats())
 	return out
 }

@@ -33,7 +33,11 @@
 // completion callbacks (see Stream).
 package dsu
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exec"
+)
 
 // FindStrategy selects how Find compacts the paths it traverses. The
 // default, TwoTrySplitting, carries the paper's best proven work bound
@@ -57,10 +61,25 @@ const (
 	// Compression is a concurrent two-pass path compression, the variant
 	// Section 6 conjectures retains the splitting bounds.
 	Compression
+	// FindAuto selects the adaptive compaction policy instead of a fixed
+	// variant: point operations and mutation batches run TwoTrySplitting
+	// (the paper's best-bound compacting variant), while query batches
+	// (SameSetAll) downgrade to OneTrySplitting or NoCompaction whenever
+	// the execution layer's flatness estimator says the forest is flat —
+	// after a big UniteAll, compaction CASes are pure overhead — and
+	// restore compaction once mutation batches churn it. The partition and
+	// every answer are identical to any fixed variant's; only the work
+	// changes. WithAdaptiveFind() is shorthand for WithFind(FindAuto).
+	FindAuto
 )
 
 // String returns the strategy name used in the paper and experiment tables.
-func (f FindStrategy) String() string { return coreFind(f).String() }
+func (f FindStrategy) String() string {
+	if f == FindAuto {
+		return "auto"
+	}
+	return coreFind(f).String()
+}
 
 func coreFind(f FindStrategy) core.Find {
 	switch f {
@@ -74,6 +93,10 @@ func coreFind(f FindStrategy) core.Find {
 		return core.FindHalving
 	case Compression:
 		return core.FindCompress
+	case FindAuto:
+		// The adaptive mode's base (mutation-batch) variant; the executor
+		// downgrades query batches from here.
+		return core.FindTwoTry
 	default:
 		panic("dsu: unknown FindStrategy")
 	}
@@ -81,9 +104,9 @@ func coreFind(f FindStrategy) core.Find {
 
 // Stats tallies the shared-memory work of counted operations: parent-pointer
 // loads, CAS attempts and failures, find steps, retry rounds, completed
-// finds, successful links, and completed operations. Keep one Stats per
-// goroutine and merge with Add; Work returns loads + CAS attempts, the
-// paper's total-work metric.
+// finds, successful links, path-compaction rewrites, and completed
+// operations. Keep one Stats per goroutine and merge with Add; Work returns
+// loads + CAS attempts, the paper's total-work metric.
 type Stats = core.Stats
 
 // DSU is a concurrent wait-free disjoint-set structure over a fixed element
@@ -91,6 +114,9 @@ type Stats = core.Stats
 // called from any number of goroutines concurrently.
 type DSU struct {
 	c *core.DSU
+	// x is the unified execution seam all batch, stream, and filter paths
+	// route through (and, with FindAuto, the adaptive policy's home).
+	x *exec.Executor
 }
 
 // New returns a DSU over n singleton elements 0..n−1. It panics if n is
@@ -102,12 +128,17 @@ func New(n int, opts ...Option) *DSU {
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	return &DSU{c: core.New(n, core.Config{
+	c := core.New(n, core.Config{
 		Find:             coreFind(cfg.find),
 		EarlyTermination: cfg.early,
 		Seed:             cfg.seed,
-	})}
+	})
+	return &DSU{c: c, x: exec.NewExecutor(engine.Flat{D: c}, cfg.find == FindAuto)}
 }
+
+// executor exposes the execution seam to the batch, stream, and filter
+// paths (Backend).
+func (d *DSU) executor() *exec.Executor { return d.x }
 
 // N returns the number of elements.
 func (d *DSU) N() int { return d.c.N() }

@@ -26,6 +26,19 @@ func WithFind(f FindStrategy) Option {
 	return optionFunc(func(c *config) { c.find = f })
 }
 
+// WithAdaptiveFind selects the adaptive compaction policy — shorthand for
+// WithFind(FindAuto). The structure's execution layer tracks per-batch
+// observables (find steps per find, parent-pointer rewrites, merge ratio)
+// in a flatness estimator and downgrades query batches (SameSetAll) to
+// cheaper find variants — two-try → one-try → naive — while the forest is
+// flat, restoring compacting variants once mutation batches churn it.
+// Honored uniformly by the flat DSU, the sharded DSU, and any Stream over
+// either; partitions and answers are identical to fixed variants in every
+// mode (the find variant never changes which unites merge).
+func WithAdaptiveFind() Option {
+	return optionFunc(func(c *config) { c.find = FindAuto })
+}
+
 // WithEarlyTermination enables the Section 6 variants (Algorithms 6 and 7):
 // SameSet and Unite interleave their two finds and always advance the
 // currently smaller node, letting one find terminate the operation early.

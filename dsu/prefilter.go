@@ -1,6 +1,9 @@
 package dsu
 
-import "repro/internal/engine"
+import (
+	"repro/internal/engine"
+	"repro/internal/exec"
+)
 
 // Prefilter returns the batch with self-loop edges and exact duplicates
 // removed; (u, v) and (v, u) name the same edge and count as duplicates.
@@ -22,7 +25,7 @@ func Prefilter(edges []Edge) []Edge { return engine.Prefilter(edges) }
 // pass's wall-clock time is part of the batch's elapsed time on both
 // paths.
 func WithPrefilter() BatchOption {
-	return batchOptionFunc(func(c *engine.Config) { c.Prefilter = true })
+	return batchOptionFunc(func(c *exec.Config) { c.Prefilter = true })
 }
 
 // WithConnectedFilter makes UniteAll screen the batch through SameSet
@@ -41,5 +44,5 @@ func WithPrefilter() BatchOption {
 // WithPrefilter's; SameSetAll ignores the option. Compose with
 // WithPrefilter to dedup first and screen the survivors.
 func WithConnectedFilter() BatchOption {
-	return batchOptionFunc(func(c *engine.Config) { c.ConnectedFilter = true })
+	return batchOptionFunc(func(c *exec.Config) { c.ConnectedFilter = true })
 }

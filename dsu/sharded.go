@@ -2,6 +2,7 @@ package dsu
 
 import (
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/shard"
 )
 
@@ -27,8 +28,10 @@ import (
 // locally-separate sets, while the resulting partition is identical.
 type Sharded struct {
 	s *shard.DSU
-	// seed plumbs the structure seed into batch scheduling, as DSU does.
-	seed uint64
+	// x is the unified execution seam all batch, stream, and filter paths
+	// route through, carrying the structure seed into batch scheduling and
+	// (with FindAuto) the adaptive policy's estimator.
+	x *exec.Executor
 }
 
 // NewSharded returns a sharded DSU over n elements in the given number of
@@ -50,15 +53,17 @@ func NewSharded(n, shards int, opts ...Option) *Sharded {
 	if shards < 1 {
 		panic("dsu: NewSharded needs at least one shard")
 	}
-	return &Sharded{
-		s: shard.New(n, shards, core.Config{
-			Find:             coreFind(cfg.find),
-			EarlyTermination: cfg.early,
-			Seed:             cfg.seed,
-		}),
-		seed: cfg.seed,
-	}
+	s := shard.New(n, shards, core.Config{
+		Find:             coreFind(cfg.find),
+		EarlyTermination: cfg.early,
+		Seed:             cfg.seed,
+	})
+	return &Sharded{s: s, x: exec.NewExecutor(s, cfg.find == FindAuto)}
 }
+
+// executor exposes the execution seam to the batch, stream, and filter
+// paths (Backend).
+func (d *Sharded) executor() *exec.Executor { return d.x }
 
 // N returns the number of elements.
 func (d *Sharded) N() int { return d.s.N() }
@@ -92,29 +97,31 @@ func (d *Sharded) Unite(x, y uint32) bool { return d.s.Unite(x, y) }
 // Batch options apply per call: WithWorkers is the total budget split
 // across the active shards, WithGrain and WithPrefilter pass through.
 func (d *Sharded) UniteAll(edges []Edge, opts ...BatchOption) int {
-	res := d.s.UniteAll(edges, batchConfig(d.seed, opts))
+	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
 	return int(res.Merged)
 }
 
 // UniteAllCounted is UniteAll, accumulating the summed work counters of
 // every phase — per-shard runs, re-anchoring, and the bridge run — into st.
 func (d *Sharded) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
-	res := d.s.UniteAll(edges, batchConfig(d.seed, opts))
+	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
 	st.Add(res.Stats())
 	return int(res.Merged)
 }
 
 // SameSetAll answers pairs[i] into element i of the returned slice through
 // the two-level structure, using the same worker pool as UniteAll. Each
-// answer carries the query contract of SameSet.
+// answer carries the query contract of SameSet. Under WithAdaptiveFind the
+// adaptive policy applies here exactly as on the flat DSU — every level
+// (shard locals and the bridge) runs the downgraded variant.
 func (d *Sharded) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
-	out, _ := d.s.SameSetAll(pairs, batchConfig(d.seed, opts))
+	out, _ := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
 	return out
 }
 
 // SameSetAllCounted is SameSetAll with work accounting into st.
 func (d *Sharded) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
-	out, res := d.s.SameSetAll(pairs, batchConfig(d.seed, opts))
+	out, res := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
 	st.Add(res.Stats())
 	return out
 }

@@ -4,40 +4,18 @@ import (
 	"context"
 	"sync/atomic"
 
-	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/pipeline"
 )
 
 // BatchResult reports one executed stream batch to the OnBatch callback:
-// batch id (1-based seal order), edge count, merges, filter drops, summed
-// work stats, elapsed time, and the execution error for abandoned batches.
+// batch id (1-based seal order), edge count, the full unified execution
+// record (merges, filter drops, per-phase fields, Stats(), elapsed time),
+// and the execution error for abandoned batches.
 type BatchResult = pipeline.Result
 
 // ErrStreamClosed is reported by Stream.Push and Stream.Flush after Close.
 var ErrStreamClosed = pipeline.ErrClosed
-
-// StreamBackend is the structure a Stream ingests into. Both *DSU and
-// *Sharded implement it; the interface is closed (unexported methods)
-// because the stream's correctness contract — a batch sequence produces
-// exactly the blocking UniteAll partition — is proved against those two.
-type StreamBackend interface {
-	batchExec(edges []Edge, cfg engine.Config) pipeline.Result
-	batchSeed() uint64
-}
-
-func (d *DSU) batchExec(edges []Edge, cfg engine.Config) pipeline.Result {
-	res := engine.UniteAll(d.c, edges, cfg)
-	return pipeline.Result{Merged: res.Merged, Filtered: res.Filtered, Stats: res.Stats(), Elapsed: res.Elapsed}
-}
-
-func (d *DSU) batchSeed() uint64 { return d.c.Config().Seed }
-
-func (d *Sharded) batchExec(edges []Edge, cfg engine.Config) pipeline.Result {
-	res := d.s.UniteAll(edges, cfg)
-	return pipeline.Result{Merged: res.Merged, Filtered: res.Filtered, Stats: res.Stats(), Elapsed: res.Elapsed}
-}
-
-func (d *Sharded) batchSeed() uint64 { return d.seed }
 
 // streamConfig resolves the StreamOption list.
 type streamConfig struct {
@@ -128,7 +106,11 @@ type Stream struct {
 }
 
 // NewStream starts a stream ingesting into b. The returned Stream owns a
-// dispatcher goroutine; Close releases it.
+// dispatcher goroutine; Close releases it. The stream's batches drive the
+// backend's own execution seam — the same funnel blocking UniteAll calls
+// use — so per-batch options resolve identically and, under
+// WithAdaptiveFind, streamed batches train the same flatness estimator
+// blocking batches do.
 //
 //	d := dsu.New(n)
 //	s := dsu.NewStream(d,
@@ -136,20 +118,21 @@ type Stream struct {
 //	        dsu.WithOnBatch(func(r dsu.BatchResult) { log(r.ID, r.Merged) }))
 //	for e := range arrivals { s.Push(e) }
 //	s.Close() // flush remainder, drain, stop
-func NewStream(b StreamBackend, opts ...StreamOption) *Stream {
+func NewStream(b Backend, opts ...StreamOption) *Stream {
 	cfg := streamConfig{}
 	for _, o := range opts {
 		o.applyStream(&cfg)
 	}
 	s := &Stream{defaults: cfg.defaults}
-	exec := func(edges []engine.Edge, o any) pipeline.Result {
+	x := b.executor()
+	run := func(edges []exec.Edge, o any) pipeline.Result {
 		bopts := s.defaults
 		if extra, ok := o.([]BatchOption); ok && len(extra) > 0 {
 			bopts = append(append([]BatchOption{}, s.defaults...), extra...)
 		}
-		return b.batchExec(edges, batchConfig(b.batchSeed(), bopts))
+		return pipeline.Result{Result: x.UniteAll(edges, batchConfig(x.Seed(), bopts))}
 	}
-	s.p = pipeline.New(exec, pipeline.Config{
+	s.p = pipeline.New(run, pipeline.Config{
 		BufferSize:  cfg.buffer,
 		MaxInFlight: cfg.inflight,
 		Context:     cfg.ctx,

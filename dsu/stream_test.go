@@ -23,17 +23,11 @@ func streamBackends(n int, seed uint64) map[string]func() dsu.StreamBackend {
 	}
 }
 
-// labelsOf reads the canonical partition off either backend.
-func labelsOf(t *testing.T, b dsu.StreamBackend) []uint32 {
+// labelsOf reads the canonical partition off either backend, through the
+// common Backend surface.
+func labelsOf(t *testing.T, b dsu.Backend) []uint32 {
 	t.Helper()
-	switch d := b.(type) {
-	case *dsu.DSU:
-		return d.CanonicalLabels()
-	case *dsu.Sharded:
-		return d.CanonicalLabels()
-	}
-	t.Fatal("unknown backend")
-	return nil
+	return b.CanonicalLabels()
 }
 
 // TestStreamMatchesBlocking is the acceptance cross-validation: for seeds
@@ -50,18 +44,12 @@ func TestStreamMatchesBlocking(t *testing.T) {
 		for _, buffer := range []int{64, 257, 4096} {
 			for name, mk := range streamBackends(n, seed) {
 				t.Run(fmt.Sprintf("seed=%d/buffer=%d/%s", seed, buffer, name), func(t *testing.T) {
-					// Blocking reference: UniteAll in buffer-sized batches.
+					// Blocking reference: UniteAll in buffer-sized batches,
+					// through the common Backend surface.
 					ref := mk()
 					var refMerged int
-					switch d := ref.(type) {
-					case *dsu.DSU:
-						for lo := 0; lo < len(edges); lo += buffer {
-							refMerged += d.UniteAll(edges[lo:min(lo+buffer, len(edges)):len(edges)], dsu.WithWorkers(3))
-						}
-					case *dsu.Sharded:
-						for lo := 0; lo < len(edges); lo += buffer {
-							refMerged += d.UniteAll(edges[lo:min(lo+buffer, len(edges)):len(edges)], dsu.WithWorkers(3))
-						}
+					for lo := 0; lo < len(edges); lo += buffer {
+						refMerged += ref.UniteAll(edges[lo:min(lo+buffer, len(edges)):len(edges)], dsu.WithWorkers(3))
 					}
 
 					// Streamed run: same sequence, random chunking, random flushes.
@@ -188,8 +176,8 @@ func TestStreamPerBatchOverrides(t *testing.T) {
 	if results[0].Filtered != 99 {
 		t.Errorf("prefiltered batch dropped %d, want 99", results[0].Filtered)
 	}
-	if results[0].Stats.Filtered != 99 {
-		t.Errorf("prefiltered batch stats.Filtered = %d, want 99", results[0].Stats.Filtered)
+	if results[0].Stats().Filtered != 99 {
+		t.Errorf("prefiltered batch stats.Filtered = %d, want 99", results[0].Stats().Filtered)
 	}
 	if results[1].Filtered != 0 {
 		t.Errorf("default batch dropped %d, want 0 (override must not stick)", results[1].Filtered)

@@ -12,8 +12,13 @@
 // structure to show the stream front is backend-agnostic. The final
 // partition is validated against an exact sequential BFS.
 //
+// -adaptive turns on the adaptive compaction policy (dsu.WithAdaptiveFind):
+// the stream's batches train the flatness estimator, and any query batches
+// issued against the backend downgrade their find variant while the forest
+// is flat. The partition is identical either way.
+//
 //	go run ./examples/streaming [-n 1000000] [-m 4000000] [-buffer 65536] \
-//	    [-inflight 1] [-workers 0] [-shards 0] [-connected] [-chunk 8192]
+//	    [-inflight 1] [-workers 0] [-shards 0] [-connected] [-adaptive] [-chunk 8192]
 package main
 
 import (
@@ -36,6 +41,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "pool size per batch (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 0, "shard count for the backend (0 = flat DSU)")
 		connected = flag.Bool("connected", false, "screen already-connected edges before each batch")
+		adaptive  = flag.Bool("adaptive", false, "adaptive find-variant policy (dsu.WithAdaptiveFind)")
 		chunk     = flag.Int("chunk", 8192, "arrival granularity (edges per Push)")
 	)
 	flag.Parse()
@@ -56,18 +62,24 @@ func main() {
 		batchOpts = append(batchOpts, dsu.WithConnectedFilter())
 	}
 
-	var backend dsu.StreamBackend
-	var labels func() []uint32
-	var sets func() int
-	if *shards > 0 {
-		d := dsu.NewSharded(*n, *shards, dsu.WithSeed(1))
-		backend, labels, sets = d, d.CanonicalLabels, d.Sets
-		fmt.Printf("backend: sharded DSU, %d shards\n", d.Shards())
-	} else {
-		d := dsu.New(*n, dsu.WithSeed(1))
-		backend, labels, sets = d, d.CanonicalLabels, d.Sets
-		fmt.Println("backend: flat DSU")
+	structOpts := []dsu.Option{dsu.WithSeed(1)}
+	mode := "two-try splitting"
+	if *adaptive {
+		structOpts = append(structOpts, dsu.WithAdaptiveFind())
+		mode = "adaptive (auto)"
 	}
+	// The common Backend surface means the rest of the program does not
+	// care which structure it got.
+	var backend dsu.Backend
+	if *shards > 0 {
+		d := dsu.NewSharded(*n, *shards, structOpts...)
+		backend = d
+		fmt.Printf("backend: sharded DSU, %d shards, %s finds\n", d.Shards(), mode)
+	} else {
+		backend = dsu.New(*n, structOpts...)
+		fmt.Printf("backend: flat DSU, %s finds\n", mode)
+	}
+	labels, sets := backend.CanonicalLabels, backend.Sets
 
 	fmt.Printf("streaming in %d-edge arrivals, %d-edge buffers, %d in flight, %d workers...\n",
 		*chunk, *buffer, *inflight, pool)
@@ -124,4 +136,34 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("OK: streamed components match the exact reference.")
+
+	// Query phase: answer the whole stream again as connectivity queries,
+	// in a few SameSetAll batches. This is the phase the adaptive policy
+	// (-adaptive) downgrades — the stream's batches trained the flatness
+	// estimator, the forest is flat now, and with WithAdaptiveFind the
+	// batches below run cheaper find variants (naive CASes nothing: watch
+	// the CAS column drop to zero). Answers are validated against the BFS
+	// labels either way.
+	const queryBatches = 4
+	queries := make([]dsu.Edge, len(stream))
+	for i, e := range stream {
+		queries[i] = dsu.Edge{X: e.U, Y: e.V}
+	}
+	qstart := time.Now()
+	var qstats dsu.Stats
+	for k := 0; k < queryBatches; k++ {
+		answers := backend.SameSetAllCounted(queries, &qstats, dsu.WithWorkers(*workers))
+		for i, e := range stream {
+			if answers[i] != (want[e.U] == want[e.V]) {
+				fmt.Fprintf(os.Stderr, "MISMATCH: query (%d,%d) answered %v, BFS says %v\n",
+					e.U, e.V, answers[i], want[e.U] == want[e.V])
+				os.Exit(1)
+			}
+		}
+	}
+	qelapsed := time.Since(qstart)
+	fmt.Printf("query phase (%s finds): %d queries in %v (%.2f Mq/s, %d CAS attempts)\n",
+		mode, queryBatches*len(stream), qelapsed.Round(time.Millisecond),
+		float64(queryBatches*len(stream))/qelapsed.Seconds()/1e6, qstats.CASAttempts)
+	fmt.Println("OK: query answers match the exact reference.")
 }

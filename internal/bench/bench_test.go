@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 20 {
-		t.Fatalf("registered %d experiments, want 20", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registered %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -38,6 +38,9 @@ func TestByID(t *testing.T) {
 	}
 	if e, ok := ByID("stream"); !ok || e.ID != "E20" {
 		t.Fatal("ByID(stream) should alias E20")
+	}
+	if e, ok := ByID("adapt"); !ok || e.ID != "E21" {
+		t.Fatal("ByID(adapt) should alias E21")
 	}
 	for _, id := range []string{"e19", "E19", "SHARD"} {
 		if e, ok := ByID(id); !ok || e.ID != "E19" {

@@ -12,9 +12,10 @@ import (
 )
 
 // bestShardedUniteAll runs the batch three times on fresh sharded
-// structures and keeps the fastest run, mirroring bestUniteAll.
-func bestShardedUniteAll(n, shards int, seed uint64, edges []engine.Edge, cfg engine.Config) shard.Result {
-	var best shard.Result
+// structures and keeps the fastest run, mirroring bestUniteAll. Sharded
+// runs report the same unified engine.Result (= exec.Result) flat runs do.
+func bestShardedUniteAll(n, shards int, seed uint64, edges []engine.Edge, cfg engine.Config) engine.Result {
+	var best engine.Result
 	best.Elapsed = time.Duration(1<<62 - 1)
 	for rep := 0; rep < 3; rep++ {
 		d := shard.New(n, shards, core.Config{Seed: seed})

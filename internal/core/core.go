@@ -90,6 +90,7 @@ type Stats struct {
 	Rounds      int64 // top-level retry rounds in SameSet/Unite
 	Finds       int64 // find executions
 	Links       int64 // successful links (CAS that changed a root's parent)
+	Rewrites    int64 // successful parent-pointer rewrites on find paths (compaction CASes that landed; links excluded)
 	Ops         int64 // SameSet/Unite operations completed
 	// Filtered counts batch edges dropped by a filter pass (prefilter dedup
 	// or the connected screen) before they reached the structure. It is set
@@ -108,6 +109,7 @@ func (s *Stats) Add(other Stats) {
 	s.Rounds += other.Rounds
 	s.Finds += other.Finds
 	s.Links += other.Links
+	s.Rewrites += other.Rewrites
 	s.Ops += other.Ops
 	s.Filtered += other.Filtered
 }
@@ -248,6 +250,7 @@ func (d *DSU) findSplit(x uint32, st *Stats, tries int) uint32 {
 					st.Reads += reads
 					st.CASAttempts += cas
 					st.CASFailures += casFail
+					st.Rewrites += cas - casFail
 				}
 				return v
 			}
@@ -277,6 +280,7 @@ func (d *DSU) findHalve(x uint32, st *Stats) uint32 {
 				st.Reads += reads
 				st.CASAttempts += cas
 				st.CASFailures += casFail
+				st.Rewrites += cas - casFail
 			}
 			return v
 		}
@@ -322,6 +326,7 @@ func (d *DSU) findCompress(x uint32, st *Stats) uint32 {
 		st.Reads += reads
 		st.CASAttempts += cas
 		st.CASFailures += casFail
+		st.Rewrites += cas - casFail
 	}
 	return root
 }
@@ -418,6 +423,7 @@ func (d *DSU) earlyStep(u uint32, st *Stats) uint32 {
 			st.Reads += reads
 			st.CASAttempts += cas
 			st.CASFailures += casFail
+			st.Rewrites += cas - casFail
 			st.FindSteps++
 		}
 		return z
@@ -499,6 +505,36 @@ func (d *DSU) uniteEarly(x, y uint32, st *Stats) bool {
 		}
 		u = d.earlyStep(u, st)
 	}
+}
+
+// WithFind returns a view of d that runs find variant f over the same
+// forest: the view shares d's parent array and random linking order, so
+// operations through it are operations on d, observed by and observing
+// every other view. Switching variants between operations is safe — every
+// variant preserves the Lemma 3.1 invariant that a parent swing moves the
+// pointer to a union-forest ancestor, on the same forest — which is what
+// the adaptive batch policy exploits to downgrade query-phase compaction.
+// It panics on an unknown variant or one the structure's early-termination
+// setting does not support, exactly as New would.
+func (d *DSU) WithFind(f Find) *DSU {
+	if f == d.cfg.Find {
+		return d
+	}
+	switch f {
+	case FindNaive, FindOneTry, FindTwoTry, FindHalving, FindCompress:
+	default:
+		panic("core: unknown find strategy")
+	}
+	if d.cfg.EarlyTermination {
+		switch f {
+		case FindNaive, FindOneTry, FindTwoTry:
+		default:
+			panic("core: early termination is defined only for naive and splitting finds")
+		}
+	}
+	v := &DSU{parent: d.parent, id: d.id, cfg: d.cfg}
+	v.cfg.Find = f
+	return v
 }
 
 // Parent returns x's current parent pointer: a raw snapshot intended for

@@ -27,15 +27,15 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/randutil"
 	"repro/internal/workload"
 )
 
 // Edge is one (X, Y) element pair of a batch: an edge to unite across, or a
-// connectivity query to answer.
-type Edge struct {
-	X, Y uint32
-}
+// connectivity query to answer. It is the exec layer's Edge — the engine,
+// the sharded path, and the pipeline all speak the same batch vocabulary.
+type Edge = exec.Edge
 
 // FromOps converts a workload op list into a batch of its element pairs.
 // The op kind is dropped: the batch call (UniteAll or SameSetAll) decides
@@ -43,7 +43,7 @@ type Edge struct {
 func FromOps(ops []workload.Op) []Edge {
 	edges := make([]Edge, len(ops))
 	for i, op := range ops {
-		edges[i] = Edge{op.X, op.Y}
+		edges[i] = Edge{X: op.X, Y: op.Y}
 	}
 	return edges
 }
@@ -59,81 +59,73 @@ type Target interface {
 	SameSetCounted(x, y uint32, st *core.Stats) bool
 }
 
-// Config tunes one batch run. The zero value is ready to use.
-type Config struct {
-	// Workers is the pool size; 0 means runtime.GOMAXPROCS(0).
-	Workers int
-	// Grain is the number of edges a worker claims per span access; 0 means
-	// defaultGrain. Smaller grains balance better, larger grains amortize
-	// the claim CAS over more real work.
-	Grain int
-	// Seed makes each worker's victim-selection order deterministic. Runs
-	// with equal seeds scan victims in the same order (the interleaving of
-	// operations still varies with goroutine scheduling).
-	Seed uint64
-	// Prefilter runs the batch through Prefilter before UniteAll dispatches
-	// it: self-loops and exact duplicates are dropped up front instead of
-	// paying finds inside the structure. The final partition and merge count
-	// are unchanged (dropped edges can never merge); per-worker op counts
-	// reflect the filtered batch. SameSetAll ignores the flag — its answers
-	// are indexed by the caller's slice.
-	Prefilter bool
-	// ConnectedFilter screens the batch through SameSet before UniteAll
-	// dispatches it, dropping edges whose endpoints are already connected.
-	// The screen is racy but sound: a true SameSet answer is definite even
-	// concurrently with mutations (witnessed relations only grow), so a
-	// dropped edge could never have merged — the final partition and merge
-	// count are exactly those of the unscreened batch. The screen itself
-	// runs through the same worker pool in SameSet mode; its work and
-	// elapsed time land in Result.FilterStats / Result.FilterElapsed.
-	// SameSetAll ignores the flag, like Prefilter.
-	ConnectedFilter bool
-}
+// Config tunes one batch run; it is the exec layer's Config, shared with
+// the sharded path so one option funnel configures both. The zero value is
+// ready to use. The engine's free functions ignore Config.Find (a Target
+// is opaque); the Flat backend below resolves it.
+type Config = exec.Config
 
 // defaultGrain amortizes one claim CAS over enough unite/query work to make
 // span traffic negligible, while staying small against the ≥64k batches the
 // engine is built for.
 const defaultGrain = 1024
 
-// Result reports what one batch run did.
-type Result struct {
-	// Workers is the resolved pool size.
-	Workers int
-	// Grain is the resolved claim granularity.
-	Grain int
-	// Merged counts Unites that performed a merge. For a fixed batch this
-	// is deterministic regardless of schedule: every true Unite reduces the
-	// number of sets by exactly one.
-	Merged int64
-	// Steals counts successful span steals — a load-imbalance diagnostic.
-	Steals int64
-	// Filtered counts edges dropped before dispatch by the batch's filter
-	// passes (Prefilter dedup and/or the ConnectedFilter screen).
-	Filtered int
-	// FilterElapsed is the wall-clock time of those passes; Elapsed
-	// includes it, so Elapsed stays end-to-end.
-	FilterElapsed time.Duration
-	// FilterStats holds the shared-memory work of the filter passes (the
-	// connected screen's finds; the dedup pass touches no shared memory)
-	// plus the Filtered tally, so Counted callers see the drops too.
-	FilterStats core.Stats
-	// Elapsed is the wall-clock duration of the parallel phase, plus any
-	// filter passes the Config enabled.
-	Elapsed time.Duration
-	// PerWorker holds each worker's operation counters, in worker order.
-	PerWorker []core.Stats
+// Result reports what one batch run did: the exec layer's unified Result.
+// The engine fills the flat-path fields (Workers, Grain, Merged, Steals,
+// PerWorker, filter accounting, Elapsed); the sharded path fills the rest.
+type Result = exec.Result
+
+// Flat adapts one core.DSU to the exec.Backend seam: batches run through
+// the engine's worker pool against the structure, and Config.Find is
+// resolved into a variant view of the same forest (core.DSU.WithFind), so
+// the adaptive executor can downgrade query-phase compaction without
+// touching the structure's configuration.
+type Flat struct {
+	D *core.DSU
 }
 
-// Stats returns the summed work counters of all workers, plus the filter
-// passes' work when the Config enabled any.
-func (r Result) Stats() core.Stats {
-	var total core.Stats
-	for i := range r.PerWorker {
-		total.Add(r.PerWorker[i])
+var _ exec.Backend = Flat{}
+
+// target resolves the per-batch find-variant override.
+func (f Flat) target(v core.Find) *core.DSU {
+	if v == 0 {
+		return f.D
 	}
-	total.Add(r.FilterStats)
-	return total
+	return f.D.WithFind(v)
 }
+
+// UniteAll drives the batch through the pool in Unite mode, honoring the
+// Config's filter passes and find-variant override.
+func (f Flat) UniteAll(edges []Edge, cfg Config) Result {
+	t := f.target(cfg.Find)
+	res := UniteAll(t, edges, cfg)
+	res.Find = t.Config().Find
+	return res
+}
+
+// SameSetAll answers the batch through the pool in SameSet mode, honoring
+// the find-variant override.
+func (f Flat) SameSetAll(pairs []Edge, cfg Config) ([]bool, Result) {
+	t := f.target(cfg.Find)
+	out, res := SameSetAll(t, pairs, cfg)
+	res.Find = t.Config().Find
+	return out, res
+}
+
+// ScreenConnected drops already-connected edges through the pool in
+// SameSet mode (see the free function below).
+func (f Flat) ScreenConnected(edges []Edge, cfg Config) ([]Edge, Result) {
+	t := f.target(cfg.Find)
+	kept, res := ScreenConnected(t, edges, cfg)
+	res.Find = t.Config().Find
+	return kept, res
+}
+
+// Seed returns the structure seed, the default batch-scheduling seed.
+func (f Flat) Seed() uint64 { return f.D.Config().Seed }
+
+// CoreConfig returns the structure's variant configuration.
+func (f Flat) CoreConfig() core.Config { return f.D.Config() }
 
 // UniteAll drives every edge of the batch through t.Unite and returns the
 // run's Result. Edges may appear in any order and multiplicity; the final

@@ -118,7 +118,7 @@ func TestExactlyOnceDelivery(t *testing.T) {
 		// Y is any value distinct from every X: the worker loop answers
 		// self-loops inline, and this test needs each edge to reach the
 		// counting target.
-		edges[i] = Edge{uint32(i), ^uint32(0)}
+		edges[i] = Edge{X: uint32(i), Y: ^uint32(0)}
 	}
 	tgt := &countingTarget{counts: make([]atomic.Int32, m)}
 	UniteAll(tgt, edges, Config{Workers: 8, Grain: 2, Seed: 41})
@@ -137,7 +137,7 @@ func TestSelfLoopsSkipFinds(t *testing.T) {
 	edges := make([]Edge, m)
 	for i := range edges {
 		v := uint32(i % n)
-		edges[i] = Edge{v, v}
+		edges[i] = Edge{X: v, Y: v}
 	}
 	d := core.New(n, core.Config{Seed: 59})
 	res := UniteAll(d, edges, Config{Workers: 3, Grain: 16})
@@ -169,7 +169,7 @@ func TestMixedSelfLoopsMatchBaseline(t *testing.T) {
 	const n = 1 << 10
 	edges := FromOps(workload.RandomUnions(n, 3*n, 61))
 	for i := 0; i < len(edges); i += 5 {
-		edges[i] = Edge{uint32(i % n), uint32(i % n)}
+		edges[i] = Edge{X: uint32(i % n), Y: uint32(i % n)}
 	}
 	ref, wantMerges := seqPartition(n, edges)
 	want := ref.CanonicalLabels()
@@ -190,10 +190,10 @@ func TestMixedSelfLoopsMatchBaseline(t *testing.T) {
 // (in either orientation) collapsed to their first occurrence, order
 // preserved, input untouched, partition unchanged.
 func TestPrefilter(t *testing.T) {
-	in := []Edge{{1, 2}, {3, 3}, {2, 1}, {4, 5}, {1, 2}, {5, 4}, {0, 6}}
+	in := []Edge{{X: 1, Y: 2}, {X: 3, Y: 3}, {X: 2, Y: 1}, {X: 4, Y: 5}, {X: 1, Y: 2}, {X: 5, Y: 4}, {X: 0, Y: 6}}
 	inCopy := append([]Edge(nil), in...)
 	got := Prefilter(in)
-	want := []Edge{{1, 2}, {4, 5}, {0, 6}}
+	want := []Edge{{X: 1, Y: 2}, {X: 4, Y: 5}, {X: 0, Y: 6}}
 	if len(got) != len(want) {
 		t.Fatalf("Prefilter kept %d edges %v, want %d %v", len(got), got, len(want), want)
 	}
@@ -234,14 +234,14 @@ func TestEmptyAndTinyBatches(t *testing.T) {
 	if res := UniteAll(d, nil, Config{Workers: 4}); res.Merged != 0 || len(res.PerWorker) != 0 {
 		t.Errorf("empty batch: got %+v", res)
 	}
-	res := UniteAll(d, []Edge{{0, 1}}, Config{Workers: 16})
+	res := UniteAll(d, []Edge{{X: 0, Y: 1}}, Config{Workers: 16})
 	if res.Workers != 1 {
 		t.Errorf("one-edge batch resolved %d workers, want 1", res.Workers)
 	}
 	if res.Merged != 1 {
 		t.Errorf("one-edge batch Merged = %d, want 1", res.Merged)
 	}
-	out, _ := SameSetAll(d, []Edge{{0, 1}, {0, 2}}, Config{Workers: 16})
+	out, _ := SameSetAll(d, []Edge{{X: 0, Y: 1}, {X: 0, Y: 2}}, Config{Workers: 16})
 	if !out[0] || out[1] {
 		t.Errorf("tiny SameSetAll = %v, want [true false]", out)
 	}

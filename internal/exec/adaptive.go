@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// The estimator reduces every batch to one number — an estimate of the
+// average find-path depth over the forest — and the policy thresholds
+// below map that estimate to the cheapest variant that still wins at that
+// depth. The constants are exported so the threshold tests and E21 can
+// reference the exact switch points.
+const (
+	// NaiveMaxDepth is the flatness bound below which query batches run
+	// naive finds (Algorithm 1): when nearly every element points at its
+	// root, compaction CASes are pure overhead — the paths they would
+	// shorten don't exist.
+	NaiveMaxDepth = 1.3
+	// OneTryMaxDepth is the bound below which query batches run one-try
+	// splitting (Algorithm 4): short paths still worth one swing per node,
+	// not two.
+	OneTryMaxDepth = 2.2
+	// EWMAWeight is the exponential moving-average weight of the newest
+	// batch's depth sample: 0.5 converges within about two batches of a
+	// phase change, which matches the mutate/query phase lengths E21
+	// alternates.
+	EWMAWeight = 0.5
+	// ChurnWeight scales a mutation batch's merge ratio into a depth
+	// penalty: every merge links one root under another, deepening the
+	// losing tree by a level that no find has compacted yet, so a
+	// merge-heavy batch marks the forest as churned even before a query
+	// observes it.
+	ChurnWeight = 2.0
+	// RewriteWeight scales observed parent-pointer rewrites per find into
+	// the depth sample: a rewrite is direct evidence a find walked (and
+	// shortened) a real path, so a batch that still rewrites a lot is not
+	// flat yet even if its step counts look low.
+	RewriteWeight = 1.0
+)
+
+// Estimator is the flatness estimator behind the adaptive compaction
+// policy: an EWMA over per-batch depth samples, fed by the Executor after
+// every batch and consulted before every query batch. It is safe for
+// concurrent use — batch calls may race on one structure — and one
+// instance is shared by the structure's blocking, counted, and streamed
+// batch paths, so a stream's batches train the same estimate direct calls
+// do.
+type Estimator struct {
+	mu    sync.Mutex
+	depth float64
+	valid bool
+}
+
+// Depth returns the current depth estimate and whether any batch has been
+// observed yet.
+func (e *Estimator) Depth() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.depth, e.valid
+}
+
+// Pick returns the variant a query batch should run with: the cheapest of
+// base and the estimate's suggestion, never an upgrade — a structure
+// configured with naive finds stays naive regardless of depth, and with no
+// observations yet the configured variant stands.
+func (e *Estimator) Pick(base core.Find) core.Find {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.valid {
+		return base
+	}
+	var suggest core.Find
+	switch {
+	case e.depth <= NaiveMaxDepth:
+		suggest = core.FindNaive
+	case e.depth <= OneTryMaxDepth:
+		suggest = core.FindOneTry
+	default:
+		return base
+	}
+	if costRank(suggest) < costRank(base) {
+		return suggest
+	}
+	return base
+}
+
+// costRank orders variants by per-find overhead on a flat forest: naive
+// pays reads only, one-try adds one CAS attempt per non-root step, and the
+// remaining variants (two-try, halving, compression) pay at least as much
+// as one-try.
+func costRank(f core.Find) int {
+	switch f {
+	case core.FindNaive:
+		return 0
+	case core.FindOneTry:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// ObserveQuery folds a query batch's observables into the estimate. v is
+// the variant the batch ran with (depth normalization is variant-aware)
+// and st its summed work counters.
+func (e *Estimator) ObserveQuery(v core.Find, st core.Stats) {
+	s, ok := depthSample(v, st)
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observeLocked(s)
+}
+
+// ObserveMutate folds a mutation batch's observables into the estimate:
+// the batch's own depth sample plus a churn penalty proportional to its
+// merge ratio, so a merge-heavy batch restores compacting variants for the
+// queries that follow even when its own finds ran over short paths.
+func (e *Estimator) ObserveMutate(v core.Find, st core.Stats, edges int, merged int64) {
+	if edges <= 0 {
+		return
+	}
+	churn := ChurnWeight * float64(merged) / float64(edges)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := depthSample(v, st)
+	if !ok {
+		// No find signal (for example an all-self-loop batch): decay
+		// nothing, just apply the churn bump to whatever we believed.
+		if !e.valid {
+			e.depth, e.valid = 1+churn, true
+			return
+		}
+		s = e.depth
+	}
+	e.observeLocked(s + churn)
+}
+
+func (e *Estimator) observeLocked(sample float64) {
+	if !e.valid {
+		e.depth, e.valid = sample, true
+		return
+	}
+	e.depth = (1-EWMAWeight)*e.depth + EWMAWeight*sample
+}
+
+// depthSample converts a batch's work counters into an average find-path
+// depth estimate, normalized per variant: the splitting/halving loops
+// iterate once per path edge (1.0 on a flat forest), while naive counts
+// the root visit too, so its step count runs one higher at the same depth.
+// Rewrites per find are added on top — a successful compaction CAS proves
+// a real path was walked. Early-termination operations never run find()
+// (Finds stays zero), so they fall back to retry rounds per operation,
+// which grow with path length the same way.
+func depthSample(v core.Find, st core.Stats) (float64, bool) {
+	if st.Finds > 0 {
+		s := float64(st.FindSteps) / float64(st.Finds)
+		if v == core.FindNaive {
+			s--
+		}
+		s += RewriteWeight * float64(st.Rewrites) / float64(st.Finds)
+		return s, true
+	}
+	if st.Ops > 0 && st.Rounds > 0 {
+		s := float64(st.Rounds)/float64(st.Ops) - 1
+		if s < 0 {
+			s = 0
+		}
+		s += RewriteWeight * float64(st.Rewrites) / float64(st.Ops)
+		return s, true
+	}
+	return 0, false
+}

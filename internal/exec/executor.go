@@ -1,0 +1,65 @@
+package exec
+
+// Executor is the one funnel every dsu batch path routes through: blocking
+// UniteAll/SameSetAll calls, the stream dispatcher, and the filter paths
+// all drive the same Executor, so per-batch policy lives here exactly
+// once. In fixed mode (est == nil) it is a transparent passthrough to the
+// Backend; in adaptive mode it trains the flatness Estimator on every
+// batch and downgrades query batches to cheaper find variants while the
+// forest is flat.
+type Executor struct {
+	b   Backend
+	est *Estimator
+}
+
+// NewExecutor wraps b. With adaptive set, query batches pick their find
+// variant from the flatness estimate; without it the executor never
+// touches Config.Find.
+func NewExecutor(b Backend, adaptive bool) *Executor {
+	e := &Executor{b: b}
+	if adaptive {
+		e.est = &Estimator{}
+	}
+	return e
+}
+
+// Backend returns the wrapped backend.
+func (e *Executor) Backend() Backend { return e.b }
+
+// Seed returns the backend's structure seed, the default scheduling seed
+// for its batches.
+func (e *Executor) Seed() uint64 { return e.b.Seed() }
+
+// Adaptive reports whether the adaptive compaction policy is active.
+func (e *Executor) Adaptive() bool { return e.est != nil }
+
+// Estimator returns the flatness estimator, nil in fixed mode. Exposed for
+// experiments and tests; ordinary callers never need it.
+func (e *Executor) Estimator() *Estimator { return e.est }
+
+// UniteAll drives a mutation batch. Mutation batches always run the
+// backend's configured variant (unless the caller overrode Config.Find
+// explicitly): compacting variants are what flatten the forest, and the
+// estimator learns how much this batch churned it.
+func (e *Executor) UniteAll(edges []Edge, cfg Config) Result {
+	res := e.b.UniteAll(edges, cfg)
+	if e.est != nil && len(edges) > 0 {
+		e.est.ObserveMutate(res.Find, res.Stats(), len(edges), res.Merged)
+	}
+	return res
+}
+
+// SameSetAll drives a query batch. In adaptive mode, with no explicit
+// Config.Find override, the variant comes from the flatness estimate —
+// two-try → one-try → naive as the forest flattens — and the batch's own
+// observables train the next pick.
+func (e *Executor) SameSetAll(pairs []Edge, cfg Config) ([]bool, Result) {
+	if e.est != nil && cfg.Find == 0 {
+		cfg.Find = e.est.Pick(e.b.CoreConfig().Find)
+	}
+	out, res := e.b.SameSetAll(pairs, cfg)
+	if e.est != nil && len(pairs) > 0 {
+		e.est.ObserveQuery(res.Find, res.Stats())
+	}
+	return out, res
+}

@@ -42,10 +42,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
+	"repro/internal/exec"
 )
 
 // ErrClosed is reported by Push and Flush after Close.
@@ -56,21 +54,18 @@ var ErrClosed = errors.New("pipeline: closed")
 const defaultBufferSize = 1 << 16
 
 // Result reports one sealed batch's execution, delivered to the callback
-// exactly once per batch, in batch-id order.
+// exactly once per batch, in batch-id order. The embedded exec.Result is
+// the batch run's full unified record — Merged, Filtered, per-phase
+// fields, Stats(), Elapsed — exactly as the backend reported it (zero
+// when Err is set), so stream callbacks see the same accounting blocking
+// callers do.
 type Result struct {
 	// ID is the batch's 1-based seal sequence number.
 	ID uint64
 	// Edges is the sealed batch's edge count (before any filter pass).
 	Edges int
-	// Merged counts merges the batch performed (see the backend's UniteAll
-	// for exact semantics). Zero when Err is set.
-	Merged int64
-	// Filtered counts edges dropped by the batch's filter passes.
-	Filtered int
-	// Stats sums the batch run's work counters across every phase.
-	Stats core.Stats
-	// Elapsed is the batch's end-to-end execution time (filters included).
-	Elapsed time.Duration
+	// Result is the batch run's execution record.
+	exec.Result
 	// Err is non-nil when the batch was abandoned (context cancelled
 	// before execution) or its Exec panicked; the batch's edges did not
 	// (fully) reach the structure.
@@ -82,7 +77,7 @@ type Result struct {
 // passed to Flush (nil for size-triggered seals); the dsu layer threads
 // its batch options through it. Exec runs on the dispatcher goroutine;
 // panics are recovered into Result.Err.
-type Exec func(edges []engine.Edge, opts any) Result
+type Exec func(edges []exec.Edge, opts any) Result
 
 // Config tunes one Pipeline.
 type Config struct {
@@ -113,7 +108,7 @@ type Config struct {
 // sealed is one batch in flight between the accumulator and dispatcher.
 type sealed struct {
 	id    uint64
-	edges []engine.Edge
+	edges []exec.Edge
 	opts  any
 }
 
@@ -127,24 +122,24 @@ type Pipeline struct {
 	size int
 
 	mu     sync.Mutex
-	buf    []engine.Edge
+	buf    []exec.Edge
 	nextID uint64
 	closed bool
 
-	batches chan sealed        // capacity MaxInFlight−1; the executing batch is the +1
-	free    chan []engine.Edge // recycled buffers
-	done    chan struct{}      // closed when the dispatcher exits
+	batches chan sealed      // capacity MaxInFlight−1; the executing batch is the +1
+	free    chan []exec.Edge // recycled buffers
+	done    chan struct{}    // closed when the dispatcher exits
 	// abandoned records that a cancellation cost at least one batch. Only
 	// the dispatcher writes it, before done closes; Close reads it after
 	// <-done, so the channel close orders the accesses.
 	abandoned bool
 }
 
-// New starts a pipeline delivering sealed batches to exec. It panics on a
-// nil exec; the returned Pipeline must be Closed to release its
+// New starts a pipeline delivering sealed batches to run. It panics on a
+// nil run; the returned Pipeline must be Closed to release its
 // dispatcher.
-func New(exec Exec, cfg Config) *Pipeline {
-	if exec == nil {
+func New(run Exec, cfg Config) *Pipeline {
+	if run == nil {
 		panic("pipeline: nil Exec")
 	}
 	size := cfg.BufferSize
@@ -160,13 +155,13 @@ func New(exec Exec, cfg Config) *Pipeline {
 		ctx = context.Background()
 	}
 	p := &Pipeline{
-		exec:    exec,
+		exec:    run,
 		cb:      cfg.Callback,
 		ctx:     ctx,
 		size:    size,
-		buf:     make([]engine.Edge, 0, size),
+		buf:     make([]exec.Edge, 0, size),
 		batches: make(chan sealed, inflight-1),
-		free:    make(chan []engine.Edge, inflight+1),
+		free:    make(chan []exec.Edge, inflight+1),
 		done:    make(chan struct{}),
 	}
 	go p.dispatch()
@@ -180,7 +175,7 @@ func (p *Pipeline) BufferSize() int { return p.size }
 // buffer reaches the threshold. It blocks while the dispatcher is
 // MaxInFlight batches behind and returns ErrClosed after Close. Edges are
 // copied before Push returns; the caller may reuse its slice.
-func (p *Pipeline) Push(edges ...engine.Edge) error {
+func (p *Pipeline) Push(edges ...exec.Edge) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -231,7 +226,7 @@ func (p *Pipeline) sealLocked(opts any) {
 	case b := <-p.free:
 		p.buf = b
 	default:
-		p.buf = make([]engine.Edge, 0, p.size)
+		p.buf = make([]exec.Edge, 0, p.size)
 	}
 }
 

@@ -57,13 +57,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/randutil"
 )
 
 // DSU is the sharded two-level disjoint-set structure. The zero value is
-// not usable; call New.
+// not usable; call New. It implements exec.Backend, so the dsu layer's
+// batch, stream, and filter paths drive it through the same seam as the
+// flat engine target.
 type DSU struct {
 	part   Partition
+	cfg    core.Config // normalized variant configuration shared by all levels
 	locals []*core.DSU // one per shard, over local indices 0..Size(i)−1
 	bridge *core.DSU   // over global ids; only spill representatives link
 
@@ -74,6 +78,8 @@ type DSU struct {
 	anchors []map[uint32]struct{}
 }
 
+var _ exec.Backend = (*DSU)(nil)
+
 // New returns a sharded DSU over n elements in the requested number of
 // shards (clamped as NewPartition documents). cfg selects the find variant,
 // early termination, and seed shared by all levels; per-level seeds are
@@ -81,9 +87,13 @@ type DSU struct {
 // Panics propagate from core.New on invalid cfg combinations or n out of
 // range.
 func New(n, shards int, cfg core.Config) *DSU {
+	if cfg.Find == 0 {
+		cfg.Find = core.FindTwoTry // normalize, matching core.New's default
+	}
 	part := NewPartition(n, shards)
 	d := &DSU{
 		part:    part,
+		cfg:     cfg,
 		locals:  make([]*core.DSU, part.Shards()),
 		anchors: make([]map[uint32]struct{}, part.Shards()),
 	}
@@ -108,25 +118,66 @@ func (d *DSU) Shards() int { return d.part.Shards() }
 // Partition exposes the element→shard map for routing-aware callers.
 func (d *DSU) Partition() Partition { return d.part }
 
+// Seed returns the structure seed, the default batch-scheduling seed
+// (exec.Backend).
+func (d *DSU) Seed() uint64 { return d.cfg.Seed }
+
+// CoreConfig returns the normalized variant configuration shared by every
+// level (exec.Backend).
+func (d *DSU) CoreConfig() core.Config { return d.cfg }
+
+// view is the set of per-level structures one batch (or point operation)
+// resolves against: the configured locals and bridge, or find-variant
+// views of them when a batch overrides the compaction strategy. Views
+// share the underlying forests, so any mix of views operates on the same
+// structure. view also adapts the two-level structure to the engine
+// (engine.Target): in Unite mode it implements spill reconciliation —
+// resolve both endpoints to shard-local roots, then unite the roots'
+// global ids in the bridge — and must then only be driven under the
+// mutation lock; in SameSet mode it answers through the two-level rep.
+type view struct {
+	d      *DSU
+	locals []*core.DSU
+	bridge *core.DSU
+}
+
+// view resolves the per-batch find-variant override: 0 (or the configured
+// variant) costs nothing, any other variant builds shared-forest views.
+func (d *DSU) view(f core.Find) view {
+	v := view{d: d, locals: d.locals, bridge: d.bridge}
+	if f != 0 && f != d.cfg.Find {
+		v.locals = make([]*core.DSU, len(d.locals))
+		for i := range d.locals {
+			v.locals[i] = d.locals[i].WithFind(f)
+		}
+		v.bridge = d.bridge.WithFind(f)
+	}
+	return v
+}
+
+// find reports the variant this view's levels run with.
+func (v view) find() core.Find { return v.bridge.Config().Find }
+
 // Find returns x's global representative: the bridge root of its shard-local
 // root. Exact at quiescence; roots change as sets merge, so SameSet is the
 // stable comparison.
-func (d *DSU) Find(x uint32) uint32 { return d.rep(x, nil) }
+func (d *DSU) Find(x uint32) uint32 { return d.view(0).rep(x, nil) }
 
 // rep resolves the two-level representative of x.
-func (d *DSU) rep(x uint32, st *core.Stats) uint32 {
+func (v view) rep(x uint32, st *core.Stats) uint32 {
+	d := v.d
 	i := d.part.ShardOf(x)
 	var lr uint32
 	if st != nil {
-		lr = d.locals[i].FindCounted(d.part.Local(x), st)
+		lr = v.locals[i].FindCounted(d.part.Local(x), st)
 	} else {
-		lr = d.locals[i].Find(d.part.Local(x))
+		lr = v.locals[i].Find(d.part.Local(x))
 	}
 	g := d.part.Global(i, lr)
 	if st != nil {
-		return d.bridge.FindCounted(g, st)
+		return v.bridge.FindCounted(g, st)
 	}
-	return d.bridge.Find(g)
+	return v.bridge.Find(g)
 }
 
 // SameSet reports whether x and y are in the same global set. True answers
@@ -134,35 +185,36 @@ func (d *DSU) rep(x uint32, st *core.Stats) uint32 {
 // only at mutation-quiescence — concurrent with a mutation they may
 // transiently miss unions, including ones committed by earlier calls whose
 // representatives are mid-re-anchor (see the package contract).
-func (d *DSU) SameSet(x, y uint32) bool { return d.sameSet(x, y, nil) }
+func (d *DSU) SameSet(x, y uint32) bool { return d.view(0).sameSet(x, y, nil) }
 
 // SameSetCounted is SameSet with work accounting into st.
-func (d *DSU) SameSetCounted(x, y uint32, st *core.Stats) bool { return d.sameSet(x, y, st) }
+func (d *DSU) SameSetCounted(x, y uint32, st *core.Stats) bool { return d.view(0).sameSet(x, y, st) }
 
-func (d *DSU) sameSet(x, y uint32, st *core.Stats) bool {
+func (v view) sameSet(x, y uint32, st *core.Stats) bool {
 	if st != nil {
 		defer func() { st.Ops++ }()
 	}
 	if x == y {
 		return true
 	}
+	d := v.d
 	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
 	var lx, ly uint32
 	if st != nil {
-		lx = d.locals[i].FindCounted(d.part.Local(x), st)
-		ly = d.locals[j].FindCounted(d.part.Local(y), st)
+		lx = v.locals[i].FindCounted(d.part.Local(x), st)
+		ly = v.locals[j].FindCounted(d.part.Local(y), st)
 	} else {
-		lx = d.locals[i].Find(d.part.Local(x))
-		ly = d.locals[j].Find(d.part.Local(y))
+		lx = v.locals[i].Find(d.part.Local(x))
+		ly = v.locals[j].Find(d.part.Local(y))
 	}
 	if i == j && lx == ly {
 		return true
 	}
 	gx, gy := d.part.Global(i, lx), d.part.Global(j, ly)
 	if st != nil {
-		return d.bridge.FindCounted(gx, st) == d.bridge.FindCounted(gy, st)
+		return v.bridge.FindCounted(gx, st) == v.bridge.FindCounted(gy, st)
 	}
-	return d.bridge.Find(gx) == d.bridge.Find(gy)
+	return v.bridge.Find(gx) == v.bridge.Find(gy)
 }
 
 // Unite merges the global sets containing x and y, reporting whether this
@@ -171,7 +223,7 @@ func (d *DSU) sameSet(x, y uint32, st *core.Stats) bool {
 func (d *DSU) Unite(x, y uint32) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.sameSet(x, y, nil) {
+	if d.view(0).sameSet(x, y, nil) {
 		return false
 	}
 	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
@@ -224,56 +276,6 @@ func (d *DSU) reanchor(i int, st *core.Stats) int {
 	return issued
 }
 
-// Result describes one sharded batch run, aggregating the per-shard engine
-// results, the bridge reconciliation run, and the classification counts.
-type Result struct {
-	// Intra and Spill count the batch's edges after classification;
-	// SelfLoops counts edges dropped during routing (X == Y).
-	Intra, Spill, SelfLoops int
-	// Merged counts structural merges performed by this call: local merges
-	// plus bridge merges. It is ≥ the count a flat DSU would report for the
-	// same batch — an intra-shard edge joining two locally-separate sets
-	// already connected through the bridge merges locally without dropping
-	// the global component count. The partition itself is always exactly the
-	// flat partition.
-	Merged int64
-	// Reanchors counts closure-restoring bridge unions issued by this call.
-	Reanchors int
-	// Filtered counts edges dropped before routing by the batch's filter
-	// passes (Prefilter dedup and/or the connected screen), mirroring
-	// engine.Result.Filtered so the flat and sharded paths report alike.
-	Filtered int
-	// FilterElapsed is the wall-clock time of those passes; Elapsed
-	// includes it.
-	FilterElapsed time.Duration
-	// FilterStats accounts the filter passes' shared-memory work (the
-	// connected screen's two-level finds) plus the Filtered tally.
-	FilterStats core.Stats
-	// PerShard holds each shard's local engine run (zero value for shards
-	// that received no intra edges), in shard order.
-	PerShard []engine.Result
-	// Bridge is the engine run that drove the spill list through the bridge
-	// forest (zero value when the batch had no cross-shard edges).
-	Bridge engine.Result
-	// ReanchorStats accounts the work of the re-anchor passes.
-	ReanchorStats core.Stats
-	// Elapsed is the wall-clock duration of the whole batch call:
-	// classification, local runs, re-anchoring, and reconciliation.
-	Elapsed time.Duration
-}
-
-// Stats returns the summed work counters of every phase of the run.
-func (r Result) Stats() core.Stats {
-	var total core.Stats
-	for i := range r.PerShard {
-		total.Add(r.PerShard[i].Stats())
-	}
-	total.Add(r.Bridge.Stats())
-	total.Add(r.ReanchorStats)
-	total.Add(r.FilterStats)
-	return total
-}
-
 // UniteAll merges across every edge of the batch: intra-shard edges route
 // to their shard's own engine run (all shards driven in parallel), while
 // cross-shard edges defer into a spill list resolved by the reconciliation
@@ -281,11 +283,23 @@ func (r Result) Stats() core.Stats {
 // the closure invariant for every shard whose local phase merged. The final
 // partition equals a flat DSU's partition for the same batch, for any shard
 // count, worker count, and schedule.
-func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
+//
+// The returned exec.Result fills the sharded per-phase fields — Intra,
+// Spill, SelfLoops (edges dropped during routing), Reanchors, PerShard (in
+// shard order, zero values for shards with no intra edges), Bridge (nil
+// without cross-shard edges), ReanchorStats — and the same filter
+// accounting the flat path reports. Its Merged tallies structural merges
+// across both levels: it is ≥ the count a flat DSU would report for the
+// same batch (an intra-shard edge joining two locally-separate sets
+// already connected through the bridge merges locally without dropping the
+// global component count), while the partition itself is always exactly
+// the flat partition.
+func (d *DSU) UniteAll(edges []exec.Edge, cfg exec.Config) exec.Result {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	s := d.part.Shards()
-	res := Result{PerShard: make([]engine.Result, s)}
+	vw := d.view(cfg.Find)
+	res := exec.Result{PerShard: make([]exec.Result, s), Find: vw.find()}
 	if len(edges) == 0 || s == 0 {
 		return res
 	}
@@ -307,7 +321,7 @@ func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
 		// lock, so here it is exact, not merely sound: every dropped edge
 		// is globally connected at this linearization point.
 		fstart := time.Now()
-		kept, sres := engine.ScreenConnected(bridgeTarget{d}, edges, cfg)
+		kept, sres := engine.ScreenConnected(vw, edges, cfg)
 		res.Filtered += len(edges) - len(kept)
 		res.FilterElapsed += time.Since(fstart)
 		res.FilterStats.Add(sres.Stats())
@@ -369,7 +383,7 @@ func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
 				lcfg := cfg
 				lcfg.Workers = per
 				lcfg.Seed = randutil.Mix64(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15 + 1)
-				res.PerShard[i] = engine.UniteAll(d.locals[i], intra[i], lcfg)
+				res.PerShard[i] = engine.UniteAll(vw.locals[i], intra[i], lcfg)
 				if res.PerShard[i].Merged > 0 {
 					// Roots may have changed; restore the closure invariant.
 					reanchors[i] = d.reanchor(i, &reanchorStats[i])
@@ -390,7 +404,8 @@ func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
 	if len(spill) > 0 {
 		bcfg := cfg
 		bcfg.Seed = randutil.Mix64(cfg.Seed ^ 0xb51d6e5b111d6e)
-		res.Bridge = engine.UniteAll(bridgeTarget{d}, spill, bcfg)
+		bres := engine.UniteAll(vw, spill, bcfg)
+		res.Bridge = &bres
 		// Anchor the spill representatives: local finds are cheap now that
 		// the reconciliation run compacted the paths, and anchoring roots
 		// (rather than raw endpoints) lets hot components share one anchor.
@@ -404,35 +419,50 @@ func (d *DSU) UniteAll(edges []engine.Edge, cfg engine.Config) Result {
 	for i := range res.PerShard {
 		res.Merged += res.PerShard[i].Merged
 	}
-	res.Merged += res.Bridge.Merged
+	if res.Bridge != nil {
+		res.Merged += res.Bridge.Merged
+	}
 	res.Elapsed = time.Since(start)
 	return res
 }
 
 // SameSetAll answers pairs[i] into element i of the returned slice through
-// the two-level structure, fanned out over the engine's worker pool. Each
-// answer carries the query contract of SameSet.
-func (d *DSU) SameSetAll(pairs []engine.Edge, cfg engine.Config) ([]bool, engine.Result) {
-	return engine.SameSetAll(bridgeTarget{d}, pairs, cfg)
+// the two-level structure, fanned out over the engine's worker pool,
+// honoring the Config's find-variant override. Each answer carries the
+// query contract of SameSet. It returns the same unified result type as
+// UniteAll (the asymmetry the exec layer removed).
+func (d *DSU) SameSetAll(pairs []exec.Edge, cfg exec.Config) ([]bool, exec.Result) {
+	vw := d.view(cfg.Find)
+	out, res := engine.SameSetAll(vw, pairs, cfg)
+	res.Find = vw.find()
+	return out, res
 }
 
-// bridgeTarget adapts the two-level structure to the engine. In Unite mode
-// it implements spill reconciliation: resolve both endpoints to shard-local
-// roots, then unite the roots' global ids in the bridge. In SameSet mode it
-// answers through the two-level rep. It must only be driven in Unite mode
-// while the structure's mutation lock is held.
-type bridgeTarget struct{ d *DSU }
+// ScreenConnected drops pairs whose endpoints are already connected,
+// answering through the two-level rep without the mutation lock
+// (exec.Backend): sound under concurrency — a true answer is definite —
+// and exact at mutation-quiescence. UniteAll's own ConnectedFilter pass
+// runs under the lock instead, where the screen is exact.
+func (d *DSU) ScreenConnected(edges []exec.Edge, cfg exec.Config) ([]exec.Edge, exec.Result) {
+	vw := d.view(cfg.Find)
+	kept, res := engine.ScreenConnected(vw, edges, cfg)
+	res.Find = vw.find()
+	return kept, res
+}
 
-func (t bridgeTarget) UniteCounted(x, y uint32, st *core.Stats) bool {
-	d := t.d
+// UniteCounted implements the engine target's Unite mode on a view (spill
+// reconciliation; mutation-lock holders only — see the view docs).
+func (v view) UniteCounted(x, y uint32, st *core.Stats) bool {
+	d := v.d
 	i, j := d.part.ShardOf(x), d.part.ShardOf(y)
-	lx := d.locals[i].FindCounted(d.part.Local(x), st)
-	ly := d.locals[j].FindCounted(d.part.Local(y), st)
-	return d.bridge.UniteCounted(d.part.Global(i, lx), d.part.Global(j, ly), st)
+	lx := v.locals[i].FindCounted(d.part.Local(x), st)
+	ly := v.locals[j].FindCounted(d.part.Local(y), st)
+	return v.bridge.UniteCounted(d.part.Global(i, lx), d.part.Global(j, ly), st)
 }
 
-func (t bridgeTarget) SameSetCounted(x, y uint32, st *core.Stats) bool {
-	return t.d.sameSet(x, y, st)
+// SameSetCounted implements the engine target's SameSet mode on a view.
+func (v view) SameSetCounted(x, y uint32, st *core.Stats) bool {
+	return v.sameSet(x, y, st)
 }
 
 // CanonicalLabels returns the min-element labelling of the global
