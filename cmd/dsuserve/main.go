@@ -1,0 +1,143 @@
+// Command dsuserve runs the network front end: an HTTP server exposing
+// tenant-scoped disjoint-set universes — batched UniteAll/SameSetAll and
+// streaming ingestion over the wire protocol's binary framing (or its
+// JSON debug mode) — to remote clients.
+//
+// Tenants are created remotely (POST /v1/tenants) or preloaded with
+// repeatable -tenant flags:
+//
+//	dsuserve -addr :8080 \
+//	    -tenant alpha:1000000 \
+//	    -tenant beta:4000000:8:auto
+//
+// The spec is name:n[:shards[:find]] — shards 0 means a flat structure,
+// find names a strategy per dsu.ParseFindStrategy ("auto" turns on the
+// adaptive compaction policy).
+//
+// On SIGINT/SIGTERM the server shuts down cleanly: open stream
+// connections have their contexts cancelled (clients receive
+// loss-reporting end envelopes — the dsu layer's Flush/Close cancellation
+// errors, surfaced over the wire), then the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/dsu"
+	"repro/internal/server"
+)
+
+// tenantFlags collects repeatable -tenant specs.
+type tenantFlags []string
+
+func (t *tenantFlags) String() string     { return strings.Join(*t, ",") }
+func (t *tenantFlags) Set(v string) error { *t = append(*t, v); return nil }
+
+// parseTenant parses name:n[:shards[:find]].
+func parseTenant(spec string) (server.TenantSpec, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return server.TenantSpec{}, fmt.Errorf("tenant spec %q: want name:n[:shards[:find]]", spec)
+	}
+	out := server.TenantSpec{Name: parts[0]}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return server.TenantSpec{}, fmt.Errorf("tenant spec %q: bad n: %v", spec, err)
+	}
+	out.N = n
+	if len(parts) >= 3 && parts[2] != "" {
+		if out.Shards, err = strconv.Atoi(parts[2]); err != nil {
+			return server.TenantSpec{}, fmt.Errorf("tenant spec %q: bad shards: %v", spec, err)
+		}
+	}
+	if len(parts) == 4 {
+		out.Find = parts[3]
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		tenants  tenantFlags
+		maxFrame = flag.Int("maxframe", 0, "wire frame size limit in bytes (0 = 16 MiB)")
+		inflight = flag.Int("inflight", 4, "per-tenant in-flight batch bound")
+		buffer   = flag.Int("buffer", 0, "default stream seal threshold in edges (0 = 65536)")
+		maxN     = flag.Int("maxn", 0, "largest universe a remote create may request (0 = 2²⁶)")
+		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:shards[:find]] (repeatable)")
+	flag.Parse()
+
+	reg := dsu.NewRegistry()
+	for _, spec := range tenants {
+		ts, err := parseTenant(spec)
+		if err != nil {
+			log.Fatalf("dsuserve: %v", err)
+		}
+		// The same spec→option translation remote creates use, so
+		// preloaded and remotely created tenants cannot drift.
+		opts, err := ts.Options()
+		if err != nil {
+			log.Fatalf("dsuserve: tenant %q: %v", ts.Name, err)
+		}
+		u, err := reg.Create(ts.Name, ts.N, opts...)
+		if err != nil {
+			log.Fatalf("dsuserve: tenant %q: %v", ts.Name, err)
+		}
+		log.Printf("tenant %q ready: n=%d kind=%s shards=%d adaptive=%v",
+			u.Name(), u.N(), u.Kind(), u.Shards(), u.Adaptive())
+	}
+
+	cfg := server.Config{
+		Registry:     reg,
+		MaxFrame:     *maxFrame,
+		MaxInFlight:  *inflight,
+		StreamBuffer: *buffer,
+		MaxN:         *maxN,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dsuserve listening on %s (%d tenants preloaded)", *addr, reg.Len())
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatalf("dsuserve: %v", err)
+	case s := <-sig:
+		log.Printf("dsuserve: %v — draining (%v budget)", s, *drain)
+	}
+
+	// Stop cancels stream contexts so open connections end ingestion
+	// promptly and answer loss-reporting end envelopes; Shutdown then
+	// drains the listener and in-flight handlers.
+	srv.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("dsuserve: shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("dsuserve: bye")
+}

@@ -12,13 +12,23 @@
 // (WithAdaptiveFind) that downgrades query batches to cheaper find
 // variants while the forest is flat. Flat and sharded structures share
 // one Backend surface, and every batch path — blocking, streamed,
-// filtered — drives one unified execution seam per structure. The
-// substrates — the APRAM simulator, sequential baselines, the
+// filtered — drives one unified execution seam per structure.
+//
+// The client-facing surface is the tenant-scoped Universe API: a Registry
+// of named, isolated universes (one structure each, kind chosen per
+// tenant via the option vocabulary) whose batch methods speak plain
+// request/response DTOs (UniteRequest, QueryRequest, BatchReply) shared
+// verbatim by in-process callers and the network front end —
+// cmd/dsuserve serves universes over HTTP with length-prefixed binary
+// batch framing (JSON debug mode included), streaming ingestion with
+// end-to-end backpressure, and per-tenant in-flight bounds.
+//
+// The substrates — the APRAM simulator, sequential baselines, the
 // Anderson–Woll comparator, the linearizability checker, workload
 // generators, the batch engine, the execution layer, the sharded
-// subsystem, the ingestion pipeline, and the experiment harness — live
-// under internal/. See README.md for the map,
-// DESIGN.md for the system inventory and per-experiment index, and
+// subsystem, the ingestion pipeline, the wire codec, the HTTP server, and
+// the experiment harness — live under internal/. See README.md for the
+// map, DESIGN.md for the system inventory and per-experiment index, and
 // EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
 // bench_test.go regenerate one measurement per experiment; cmd/dsubench
 // prints the full tables.

@@ -41,11 +41,25 @@ type Backend interface {
 	// CanonicalLabels returns the min-element labelling of the partition;
 	// call at quiescence.
 	CanonicalLabels() []uint32
+	// Components materializes the partition as sorted element sets ordered
+	// by their minima; call at quiescence.
+	Components() [][]uint32
+	// Snapshot returns a single-array copy of the forest: the flat
+	// structure's parent array, or the sharded structure's flattened view
+	// (each element pointing directly at its global representative — see
+	// Sharded.Snapshot). Call at quiescence.
+	Snapshot() []uint32
+	// ID returns x's position in the structure's random linking order (the
+	// bridge-level order on Sharded), fixed at construction.
+	ID(x uint32) uint32
 
 	// executor is the internal execution seam every batch, stream, and
 	// filter path drives: one funnel per structure, shared by blocking and
 	// streamed batches so the adaptive policy trains on all of them.
 	executor() *exec.Executor
+	// universe is the structure's anonymous Universe: the tenant-API layer
+	// (request/response DTOs) the batch and stream veneers route through.
+	universe() *Universe
 }
 
 // StreamBackend is the former name of Backend, kept for callers that

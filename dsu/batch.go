@@ -47,6 +47,29 @@ func batchConfig(seed uint64, opts []BatchOption) exec.Config {
 	return cfg
 }
 
+// uniteVeneer and queryVeneer phrase an option-vocabulary batch call in
+// the Universe layer's request/response form — the thin veneer every
+// in-process batch entry point (flat and sharded) now is, so remote and
+// local batches run through one funnel and one validation. The only error
+// the DTO layer can report on an in-process call is a contract violation
+// (an element outside the universe), which was always a panic; it just
+// panics with a diagnosis now instead of an index fault inside a worker.
+func uniteVeneer(u *Universe, edges []Edge, opts []BatchOption) BatchReply {
+	rep, err := u.UniteAll(UniteRequest{Edges: edges, Options: batchOptionsOf(opts)})
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+func queryVeneer(u *Universe, pairs []Edge, opts []BatchOption) BatchReply {
+	rep, err := u.SameSetAll(QueryRequest{Pairs: pairs, Options: batchOptionsOf(opts)})
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
 // UniteAll merges across every edge of the batch using a pool of
 // work-stealing workers and returns the number of edges that performed a
 // merge. The resulting partition — and the returned count — are exactly
@@ -54,16 +77,15 @@ func batchConfig(seed uint64, opts []BatchOption) exec.Config {
 // schedule. UniteAll may run concurrently with any other operation,
 // including other batches.
 func (d *DSU) UniteAll(edges []Edge, opts ...BatchOption) int {
-	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
-	return int(res.Merged)
+	return int(uniteVeneer(d.uni, edges, opts).Merged)
 }
 
 // UniteAllCounted is UniteAll, accumulating the pool's summed work
 // counters into st.
 func (d *DSU) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
-	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
-	st.Add(res.Stats())
-	return int(res.Merged)
+	rep := uniteVeneer(d.uni, edges, opts)
+	st.Add(rep.Stats)
+	return int(rep.Merged)
 }
 
 // SameSetAll answers pairs[i] into element i of the returned slice, using
@@ -73,15 +95,14 @@ func (d *DSU) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int 
 // downgrade to a cheaper find variant — the answers are identical either
 // way.
 func (d *DSU) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
-	out, _ := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
-	return out
+	return queryVeneer(d.uni, pairs, opts).Answers
 }
 
 // SameSetAllCounted is SameSetAll with work accounting into st.
 func (d *DSU) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
-	out, res := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
-	st.Add(res.Stats())
-	return out
+	rep := queryVeneer(d.uni, pairs, opts)
+	st.Add(rep.Stats)
+	return rep.Answers
 }
 
 // UniteAll merges across every edge of the batch, as DSU.UniteAll. Edges

@@ -117,6 +117,9 @@ type DSU struct {
 	// x is the unified execution seam all batch, stream, and filter paths
 	// route through (and, with FindAuto, the adaptive policy's home).
 	x *exec.Executor
+	// uni is the structure's anonymous Universe — the tenant-API layer the
+	// batch and stream veneers phrase their calls through.
+	uni *Universe
 }
 
 // New returns a DSU over n singleton elements 0..n−1. It panics if n is
@@ -133,12 +136,18 @@ func New(n int, opts ...Option) *DSU {
 		EarlyTermination: cfg.early,
 		Seed:             cfg.seed,
 	})
-	return &DSU{c: c, x: exec.NewExecutor(engine.Flat{D: c}, cfg.find == FindAuto)}
+	d := &DSU{c: c, x: exec.NewExecutor(engine.Flat{D: c}, cfg.find == FindAuto)}
+	d.uni = &Universe{b: d}
+	return d
 }
 
 // executor exposes the execution seam to the batch, stream, and filter
 // paths (Backend).
 func (d *DSU) executor() *exec.Executor { return d.x }
+
+// universe exposes the anonymous Universe the veneers route through
+// (Backend).
+func (d *DSU) universe() *Universe { return d.uni }
 
 // N returns the number of elements.
 func (d *DSU) N() int { return d.c.N() }
@@ -182,8 +191,12 @@ func (d *DSU) Snapshot() []uint32 { return d.c.Snapshot() }
 // Components materializes the partition as a slice of sets, each sorted
 // ascending, ordered by their minimum elements. Call at quiescence. It runs
 // in O(n) plus the allocation of the result.
-func (d *DSU) Components() [][]uint32 {
-	labels := d.c.CanonicalLabels()
+func (d *DSU) Components() [][]uint32 { return componentsFromLabels(d.c.CanonicalLabels()) }
+
+// componentsFromLabels buckets a canonical labelling into sorted sets
+// ordered by their minima — the one materialization both structure kinds
+// share (labels are minima, encountered in ascending element order).
+func componentsFromLabels(labels []uint32) [][]uint32 {
 	sizes := make(map[uint32]int, 16)
 	for _, l := range labels {
 		sizes[l]++

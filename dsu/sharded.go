@@ -32,6 +32,9 @@ type Sharded struct {
 	// route through, carrying the structure seed into batch scheduling and
 	// (with FindAuto) the adaptive policy's estimator.
 	x *exec.Executor
+	// uni is the structure's anonymous Universe — the tenant-API layer the
+	// batch and stream veneers phrase their calls through.
+	uni *Universe
 }
 
 // NewSharded returns a sharded DSU over n elements in the given number of
@@ -58,12 +61,18 @@ func NewSharded(n, shards int, opts ...Option) *Sharded {
 		EarlyTermination: cfg.early,
 		Seed:             cfg.seed,
 	})
-	return &Sharded{s: s, x: exec.NewExecutor(s, cfg.find == FindAuto)}
+	d := &Sharded{s: s, x: exec.NewExecutor(s, cfg.find == FindAuto)}
+	d.uni = &Universe{b: d}
+	return d
 }
 
 // executor exposes the execution seam to the batch, stream, and filter
 // paths (Backend).
 func (d *Sharded) executor() *exec.Executor { return d.x }
+
+// universe exposes the anonymous Universe the veneers route through
+// (Backend).
+func (d *Sharded) universe() *Universe { return d.uni }
 
 // N returns the number of elements.
 func (d *Sharded) N() int { return d.s.N() }
@@ -97,16 +106,15 @@ func (d *Sharded) Unite(x, y uint32) bool { return d.s.Unite(x, y) }
 // Batch options apply per call: WithWorkers is the total budget split
 // across the active shards, WithGrain and WithPrefilter pass through.
 func (d *Sharded) UniteAll(edges []Edge, opts ...BatchOption) int {
-	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
-	return int(res.Merged)
+	return int(uniteVeneer(d.uni, edges, opts).Merged)
 }
 
 // UniteAllCounted is UniteAll, accumulating the summed work counters of
 // every phase — per-shard runs, re-anchoring, and the bridge run — into st.
 func (d *Sharded) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) int {
-	res := d.x.UniteAll(edges, batchConfig(d.x.Seed(), opts))
-	st.Add(res.Stats())
-	return int(res.Merged)
+	rep := uniteVeneer(d.uni, edges, opts)
+	st.Add(rep.Stats)
+	return int(rep.Merged)
 }
 
 // SameSetAll answers pairs[i] into element i of the returned slice through
@@ -115,15 +123,14 @@ func (d *Sharded) UniteAllCounted(edges []Edge, st *Stats, opts ...BatchOption) 
 // adaptive policy applies here exactly as on the flat DSU — every level
 // (shard locals and the bridge) runs the downgraded variant.
 func (d *Sharded) SameSetAll(pairs []Edge, opts ...BatchOption) []bool {
-	out, _ := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
-	return out
+	return queryVeneer(d.uni, pairs, opts).Answers
 }
 
 // SameSetAllCounted is SameSetAll with work accounting into st.
 func (d *Sharded) SameSetAllCounted(pairs []Edge, st *Stats, opts ...BatchOption) []bool {
-	out, res := d.x.SameSetAll(pairs, batchConfig(d.x.Seed(), opts))
-	st.Add(res.Stats())
-	return out
+	rep := queryVeneer(d.uni, pairs, opts)
+	st.Add(rep.Stats)
+	return rep.Answers
 }
 
 // Sets returns the number of sets. Call at quiescence for an exact answer.
@@ -133,3 +140,25 @@ func (d *Sharded) Sets() int { return d.s.Sets() }
 // set — the same canonical naming DSU.CanonicalLabels produces. Call at
 // quiescence.
 func (d *Sharded) CanonicalLabels() []uint32 { return d.s.CanonicalLabels() }
+
+// Components materializes the partition as a slice of sets, each sorted
+// ascending, ordered by their minimum elements — exactly DSU.Components'
+// shape, so code written against Backend reads either structure kind. Call
+// at quiescence.
+func (d *Sharded) Components() [][]uint32 { return componentsFromLabels(d.s.CanonicalLabels()) }
+
+// Snapshot returns the flattened global forest: element x's entry is its
+// global representative, so every tree has depth at most one and roots
+// satisfy parent[x] == x, the flat structure's root convention. The
+// two-level structure has no single parent array to copy — local forests
+// and the bridge interleave, and stitching them into one pointer array can
+// cycle through dethroned roots — so the flattened view is the honest
+// single-array picture of the partition. Call at quiescence.
+func (d *Sharded) Snapshot() []uint32 { return d.s.Snapshot() }
+
+// ID returns x's position in the bridge level's random linking order,
+// fixed at construction — the globally meaningful analogue of DSU.ID (each
+// shard's local forest draws its own order; the bridge order spans the
+// whole universe). Exposed for forest analysis; not needed for ordinary
+// use.
+func (d *Sharded) ID(x uint32) uint32 { return d.s.ID(x) }

@@ -119,12 +119,21 @@ type Stream struct {
 //	for e := range arrivals { s.Push(e) }
 //	s.Close() // flush remainder, drain, stop
 func NewStream(b Backend, opts ...StreamOption) *Stream {
+	return b.universe().NewStream(opts...)
+}
+
+// NewStream starts a stream ingesting into the universe's structure — the
+// stream entry point of the tenant API, and the layer dsu.NewStream is a
+// veneer over. The network front end runs one of these per connection, so
+// a remote edge stream gets exactly the in-process stream's batching,
+// backpressure, and ordering.
+func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 	cfg := streamConfig{}
 	for _, o := range opts {
 		o.applyStream(&cfg)
 	}
 	s := &Stream{defaults: cfg.defaults}
-	x := b.executor()
+	x := u.b.executor()
 	run := func(edges []exec.Edge, o any) pipeline.Result {
 		bopts := s.defaults
 		if extra, ok := o.([]BatchOption); ok && len(extra) > 0 {
@@ -164,6 +173,13 @@ func (s *Stream) Push(edges ...Edge) error { return s.p.Push(edges...) }
 // only (applied after them, so they win field by field) — per-batch
 // worker counts or filters without rebuilding the stream. Flushing an
 // empty buffer is a no-op.
+//
+// Once the stream context (WithStreamContext) is cancelled, Flush fails
+// fast with the context's error instead of sealing a batch the dispatcher
+// would only abandon: the caller — a server draining a connection, say —
+// learns at the call site that the stream is dead rather than from a
+// silently dropped batch. Close reports the same error after abandoning
+// whatever remained.
 func (s *Stream) Flush(opts ...BatchOption) error {
 	if len(opts) == 0 {
 		return s.p.Flush(nil)

@@ -1,0 +1,443 @@
+package dsu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// A Universe is the tenant-scoped view of one disjoint-set structure: a
+// name, a Backend (flat or sharded, fixed or adaptive — whatever the
+// construction options selected), and the request/response surface remote
+// and in-process callers share. The DTO methods (UniteAll, SameSetAll)
+// take plain-data requests, validate them against the universe — element
+// range, per-batch find overrides — and answer with a BatchReply carrying
+// the execution layer's full accounting; the wire protocol
+// (internal/wire) carries exactly these types, so a batch means the same
+// thing whether it arrived over a socket or from the goroutine next door.
+// The package's own batch veneers (DSU.UniteAll and friends, Stream) route
+// through this layer too, which is what keeps the two worlds identical.
+//
+// A Universe is a stateless wrapper: all structure state lives in the
+// Backend, every method is safe for concurrent use under the backend's own
+// contract, and any number of Universe values may wrap one backend.
+type Universe struct {
+	name string
+	b    Backend
+}
+
+// NewUniverse wraps an existing structure as a named universe — for
+// serving a structure built by hand, outside a Registry. The name is
+// advisory (Registry enforces uniqueness, this does not).
+func NewUniverse(name string, b Backend) *Universe { return &Universe{name: name, b: b} }
+
+// Name returns the universe's tenant name ("" for the anonymous universe
+// every structure carries internally).
+func (u *Universe) Name() string { return u.name }
+
+// Backend returns the wrapped structure.
+func (u *Universe) Backend() Backend { return u.b }
+
+// Kind reports the structure kind: "flat" for *DSU, "sharded" for
+// *Sharded.
+func (u *Universe) Kind() string {
+	if _, ok := u.b.(*Sharded); ok {
+		return "sharded"
+	}
+	return "flat"
+}
+
+// Shards returns the shard count of a sharded universe, 0 for a flat one.
+func (u *Universe) Shards() int {
+	if s, ok := u.b.(*Sharded); ok {
+		return s.Shards()
+	}
+	return 0
+}
+
+// Adaptive reports whether the universe runs the adaptive compaction
+// policy (WithAdaptiveFind).
+func (u *Universe) Adaptive() bool { return u.b.executor().Adaptive() }
+
+// N returns the number of elements.
+func (u *Universe) N() int { return u.b.N() }
+
+// Find, SameSet, and Unite are the point operations, delegated under the
+// backend's own concurrency contract.
+func (u *Universe) Find(x uint32) uint32     { return u.b.Find(x) }
+func (u *Universe) SameSet(x, y uint32) bool { return u.b.SameSet(x, y) }
+func (u *Universe) Unite(x, y uint32) bool   { return u.b.Unite(x, y) }
+
+// Sets, CanonicalLabels, Components, Snapshot, and ID are the quiescent
+// read surface, identical across backend kinds (the parity the Backend
+// interface now guarantees).
+func (u *Universe) Sets() int                 { return u.b.Sets() }
+func (u *Universe) CanonicalLabels() []uint32 { return u.b.CanonicalLabels() }
+func (u *Universe) Components() [][]uint32    { return u.b.Components() }
+func (u *Universe) Snapshot() []uint32        { return u.b.Snapshot() }
+func (u *Universe) ID(x uint32) uint32        { return u.b.ID(x) }
+
+// BatchOptions is the plain-data mirror of the per-batch option vocabulary
+// (WithWorkers, WithGrain, WithPrefilter, WithConnectedFilter) plus an
+// optional per-batch find-variant override — the form a batch's tuning
+// takes inside a request DTO, where a []BatchOption cannot travel. The
+// zero value selects every default.
+type BatchOptions struct {
+	// Workers is the batch worker-pool size; values ≤ 0 select
+	// runtime.GOMAXPROCS(0).
+	Workers int `json:"workers,omitempty"`
+	// Grain is the span-claim granularity; values ≤ 0 select the engine
+	// default (1024).
+	Grain int `json:"grain,omitempty"`
+	// Prefilter runs the self-loop/duplicate dedup pass before dispatch
+	// (WithPrefilter).
+	Prefilter bool `json:"prefilter,omitempty"`
+	// ConnectedFilter screens the batch through SameSet before dispatch
+	// (WithConnectedFilter).
+	ConnectedFilter bool `json:"connected_filter,omitempty"`
+	// Find, when non-zero, overrides the structure's find variant for this
+	// batch. FindAuto is a structure-level policy, not a per-batch value,
+	// and is rejected; Halving and Compression are rejected on structures
+	// built WithEarlyTermination (the combination is undefined, exactly as
+	// in New).
+	Find FindStrategy `json:"find,omitempty"`
+}
+
+// Options converts o back into the option vocabulary, for configuring
+// in-process batch calls or stream defaults from a wire-shaped
+// description. The Find override has no []BatchOption form — it is
+// resolved by the Universe DTO methods — and is ignored here.
+func (o BatchOptions) Options() []BatchOption {
+	var opts []BatchOption
+	if o.Workers > 0 {
+		opts = append(opts, WithWorkers(o.Workers))
+	}
+	if o.Grain > 0 {
+		opts = append(opts, WithGrain(o.Grain))
+	}
+	if o.Prefilter {
+		opts = append(opts, WithPrefilter())
+	}
+	if o.ConnectedFilter {
+		opts = append(opts, WithConnectedFilter())
+	}
+	return opts
+}
+
+// batchOptionsOf flattens a resolved option list into the DTO form — how
+// the in-process veneers phrase their calls in the Universe layer's
+// vocabulary.
+func batchOptionsOf(opts []BatchOption) BatchOptions {
+	var cfg exec.Config
+	for _, o := range opts {
+		o.applyBatch(&cfg)
+	}
+	return BatchOptions{
+		Workers:         cfg.Workers,
+		Grain:           cfg.Grain,
+		Prefilter:       cfg.Prefilter,
+		ConnectedFilter: cfg.ConnectedFilter,
+	}
+}
+
+// UniteRequest asks a universe to merge across a batch of edges.
+type UniteRequest struct {
+	Edges   []Edge       `json:"edges"`
+	Options BatchOptions `json:"options"`
+}
+
+// QueryRequest asks a universe to answer a batch of connectivity queries.
+type QueryRequest struct {
+	Pairs   []Edge       `json:"pairs"`
+	Options BatchOptions `json:"options"`
+}
+
+// BatchReply reports one executed batch — the response DTO shared by
+// in-process callers and the wire. Merged, Filtered, Find, Elapsed, and
+// Stats carry the execution layer's unified accounting (exec.Result);
+// Answers is filled by query batches only, indexed like the request's
+// Pairs.
+type BatchReply struct {
+	// Answers is nil on unite replies; on query replies it is non-nil and
+	// indexed like the request's Pairs (no omitempty: a zero-pair query's
+	// empty slice must survive the JSON encoding like it does the binary).
+	Answers  []bool        `json:"answers"`
+	Merged   int64         `json:"merged"`
+	Filtered int           `json:"filtered,omitempty"`
+	Find     FindStrategy  `json:"find,omitempty"`
+	Elapsed  time.Duration `json:"elapsed,omitempty"`
+	Stats    Stats         `json:"stats"`
+}
+
+// findStrategyOf maps a resolved core variant back to the public
+// vocabulary (the reverse of coreFind; FindAuto never appears — replies
+// report the variant a batch actually ran).
+func findStrategyOf(f core.Find) FindStrategy {
+	switch f {
+	case core.FindNaive:
+		return NoCompaction
+	case core.FindOneTry:
+		return OneTrySplitting
+	case core.FindTwoTry:
+		return TwoTrySplitting
+	case core.FindHalving:
+		return Halving
+	case core.FindCompress:
+		return Compression
+	default:
+		return 0
+	}
+}
+
+// replyOf assembles the DTO from one execution record.
+func replyOf(answers []bool, res exec.Result) BatchReply {
+	return BatchReply{
+		Answers:  answers,
+		Merged:   res.Merged,
+		Filtered: res.Filtered,
+		Find:     findStrategyOf(res.Find),
+		Elapsed:  res.Elapsed,
+		Stats:    res.Stats(),
+	}
+}
+
+// MaxBatchWorkers caps the worker pool one batch request may ask for. The
+// DTO layer is the untrusted boundary — a remote frame must not be able
+// to spawn an unbounded number of goroutines — and no legitimate batch
+// benefits from more workers than this (the engine additionally clamps to
+// the edge count). The network front end applies the same cap to its
+// stream tuning parameters.
+const MaxBatchWorkers = 1024
+
+// resolve turns request options into the execution configuration,
+// validating the find override against the structure's configuration.
+func (u *Universe) resolve(o BatchOptions) (exec.Config, error) {
+	if o.Workers > MaxBatchWorkers {
+		o.Workers = MaxBatchWorkers
+	}
+	x := u.b.executor()
+	cfg := exec.Config{
+		Workers:         o.Workers,
+		Grain:           o.Grain,
+		Seed:            x.Seed(),
+		Prefilter:       o.Prefilter,
+		ConnectedFilter: o.ConnectedFilter,
+	}
+	switch o.Find {
+	case 0:
+		// Structure default (or the adaptive policy's pick, on query batches).
+	case FindAuto:
+		return cfg, errors.New("dsu: FindAuto is a structure-level policy (WithAdaptiveFind), not a per-batch override")
+	case NoCompaction, OneTrySplitting, TwoTrySplitting:
+		cfg.Find = coreFind(o.Find)
+	case Halving, Compression:
+		if x.Backend().CoreConfig().EarlyTermination {
+			return cfg, fmt.Errorf("dsu: find override %v is undefined on a structure built with early termination", o.Find)
+		}
+		cfg.Find = coreFind(o.Find)
+	default:
+		return cfg, fmt.Errorf("dsu: unknown find strategy %d", int(o.Find))
+	}
+	return cfg, nil
+}
+
+// validatePairs bounds-checks a batch against the universe. Remote callers
+// are untrusted; a single predictable compare per endpoint here is what
+// lets the wait-free core keep its unchecked array indexing.
+func validatePairs(what string, pairs []Edge, n int) error {
+	limit := uint32(n)
+	for i, e := range pairs {
+		if e.X >= limit || e.Y >= limit {
+			return fmt.Errorf("dsu: %s %d names (%d,%d), outside the %d-element universe", what, i, e.X, e.Y, n)
+		}
+	}
+	return nil
+}
+
+// Validate bounds-checks a batch against the universe without running it —
+// the pre-flight check the network front end runs before pushing remote
+// edges into a stream, where execution is deferred past the moment a
+// per-request error could still be returned.
+func (u *Universe) Validate(pairs []Edge) error {
+	return validatePairs("edge", pairs, u.b.N())
+}
+
+// ReplyOf converts one executed stream batch's record into the reply DTO —
+// how the network front end phrases stream completions in the same
+// vocabulary as RPC replies. (Abandoned batches have no execution record;
+// their Err travels as a protocol error instead.)
+func ReplyOf(r BatchResult) BatchReply {
+	return BatchReply{
+		Merged:   r.Merged,
+		Filtered: r.Filtered,
+		Find:     findStrategyOf(r.Find),
+		Elapsed:  r.Elapsed,
+		Stats:    r.Stats(),
+	}
+}
+
+// UniteAll merges across every edge of the request's batch and reports the
+// run. It is the mutation entry point of the tenant API: requests are
+// validated (element range, find override) and then driven through the
+// structure's execution seam — the same funnel DSU.UniteAll,
+// Sharded.UniteAll, and every Stream batch use, so remote and in-process
+// batches are indistinguishable to the structure and to the adaptive
+// policy. The reply's Merged follows the backend's own counting contract
+// (exact sequential count on flat, structural two-level count on sharded).
+func (u *Universe) UniteAll(req UniteRequest) (BatchReply, error) {
+	cfg, err := u.resolve(req.Options)
+	if err != nil {
+		return BatchReply{}, err
+	}
+	if err := validatePairs("edge", req.Edges, u.b.N()); err != nil {
+		return BatchReply{}, err
+	}
+	return replyOf(nil, u.b.executor().UniteAll(req.Edges, cfg)), nil
+}
+
+// SameSetAll answers the request's pairs into the reply's Answers slice
+// (Answers[i] answers Pairs[i]) — the query entry point of the tenant API,
+// validated and funneled exactly as UniteAll. Under WithAdaptiveFind this
+// is the path the adaptive policy may downgrade; the reply's Find reports
+// the variant that actually ran.
+func (u *Universe) SameSetAll(req QueryRequest) (BatchReply, error) {
+	cfg, err := u.resolve(req.Options)
+	if err != nil {
+		return BatchReply{}, err
+	}
+	if err := validatePairs("pair", req.Pairs, u.b.N()); err != nil {
+		return BatchReply{}, err
+	}
+	out, res := u.b.executor().SameSetAll(req.Pairs, cfg)
+	return replyOf(out, res), nil
+}
+
+// ParseFindStrategy maps a wire- or flag-friendly name to its
+// FindStrategy, case-insensitively: "naive" (or "nocompaction"), "onetry",
+// "twotry", "halving", "compress" (or "compression"), and "auto" (or
+// "adaptive") for the adaptive policy. The empty string and "default"
+// return 0 — the caller's default. Each strategy's String() round-trips.
+func ParseFindStrategy(s string) (FindStrategy, error) {
+	switch strings.ToLower(s) {
+	case "", "default":
+		return 0, nil
+	case "naive", "nocompaction":
+		return NoCompaction, nil
+	case "onetry", "one-try":
+		return OneTrySplitting, nil
+	case "twotry", "two-try":
+		return TwoTrySplitting, nil
+	case "halving":
+		return Halving, nil
+	case "compress", "compression":
+		return Compression, nil
+	case "auto", "adaptive":
+		return FindAuto, nil
+	default:
+		return 0, fmt.Errorf("dsu: unknown find strategy %q", s)
+	}
+}
+
+// Registry is the tenant directory: it creates and looks up named
+// universes, each wrapping its own independent structure. All methods are
+// safe for concurrent use. Tenant isolation is structural — universes
+// share nothing but the process — so no operation on one tenant can
+// observe or disturb another's partition.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*Universe
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: make(map[string]*Universe)} }
+
+// Create builds a new universe under name and registers it. The structure
+// kind is chosen by the option vocabulary: a positive WithShards selects a
+// sharded structure, otherwise flat; WithFind/WithAdaptiveFind,
+// WithEarlyTermination, and WithSeed apply as in New and NewSharded. It
+// returns an error — never panics — on a taken name, an out-of-range n, or
+// an inconsistent option set, so remote tenant creation cannot crash a
+// server. The structure is allocated under the registry lock, which keeps
+// the check-then-insert atomic but blocks lookups of other tenants for
+// the allocation's duration — for a very large n that is not brief, so
+// callers exposed to untrusted sizes should cap n (the network front
+// end's MaxN does).
+func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error) {
+	if name == "" {
+		return nil, errors.New("dsu: universe name must be non-empty")
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if n < 0 || int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("dsu: universe size %d out of range [0, 2³¹−1]", n)
+	}
+	switch cfg.find {
+	case NoCompaction, OneTrySplitting, TwoTrySplitting, Halving, Compression, FindAuto:
+	default:
+		return nil, fmt.Errorf("dsu: unknown find strategy %d", int(cfg.find))
+	}
+	if cfg.early && (cfg.find == Halving || cfg.find == Compression) {
+		return nil, fmt.Errorf("dsu: early termination is undefined with %v", cfg.find)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		return nil, fmt.Errorf("dsu: universe %q already exists", name)
+	}
+	var b Backend
+	if cfg.shards > 0 {
+		b = NewSharded(n, cfg.shards, opts...)
+	} else {
+		b = New(n, opts...)
+	}
+	u := &Universe{name: name, b: b}
+	r.m[name] = u
+	return u, nil
+}
+
+// Get returns the universe registered under name.
+func (r *Registry) Get(name string) (*Universe, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.m[name]
+	return u, ok
+}
+
+// Drop unregisters name, reporting whether it existed. The universe's
+// structure stays valid for holders of the pointer (in-flight batches and
+// streams complete); it is simply no longer reachable by name.
+func (r *Registry) Drop(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+// Names returns the registered tenant names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered universes.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

@@ -200,11 +200,23 @@ func (p *Pipeline) Push(edges ...exec.Edge) error {
 // Flushing an empty buffer is a no-op: no batch, no callback. Flush
 // blocks under the same backpressure as Push and returns ErrClosed after
 // Close.
+//
+// Once the Config.Context is cancelled, Flush fails fast with the
+// context's error instead of sealing a batch that the dispatcher would
+// only abandon: the caller learns the stream is dead at the call site —
+// what a server draining a connection needs for clean shutdown — rather
+// than from a silently dropped batch. The buffered edges stay put; Close
+// abandons them (and reports the same error). Push keeps accepting, so
+// producers that don't check per-call errors retain the old drop-at-
+// dispatch behavior.
 func (p *Pipeline) Flush(opts any) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
+	}
+	if err := p.ctx.Err(); err != nil {
+		return err
 	}
 	if len(p.buf) > 0 {
 		p.sealLocked(opts)

@@ -311,3 +311,30 @@ func TestConcurrentProducers(t *testing.T) {
 		t.Fatalf("exec saw %d edges, callbacks %d, want %d", edges.Load(), cbEdges.Load(), want)
 	}
 }
+
+// TestFlushSurfacesCancellation pins the fail-fast contract: once the
+// pipeline context is cancelled, Flush reports the context error at the
+// call site instead of sealing a batch the dispatcher would only abandon.
+// The buffered edges are abandoned by Close, which reports the same error.
+func TestFlushSurfacesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var execs atomic.Int64
+	p := New(func(b []exec.Edge, opts any) Result {
+		execs.Add(1)
+		return Result{}
+	}, Config{BufferSize: 1 << 20, Context: ctx})
+
+	if err := p.Push(exec.Edge{X: 0, Y: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := p.Flush(nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Flush after cancel = %v, want context.Canceled", err)
+	}
+	if err := p.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled (buffered remainder was abandoned)", err)
+	}
+	if execs.Load() != 0 {
+		t.Fatalf("exec ran %d times, want 0", execs.Load())
+	}
+}

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/dsu"
+	"repro/internal/wire"
+)
+
+// Client speaks the front end's protocol: tenant administration over
+// JSON, batch RPC and streaming ingestion over either wire format. It is
+// what examples/server and the integration tests drive; it lives next to
+// the server so the two sides of the protocol evolve together.
+//
+// A Client is safe for concurrent use; each OpenStream call owns its own
+// connection.
+type Client struct {
+	base     string
+	hc       *http.Client
+	format   wire.Format
+	maxFrame int
+}
+
+// ClientOption configures NewClient.
+type ClientOption func(*Client)
+
+// WithFormat selects the batch encoding (default wire.Binary;
+// wire.JSON is the debug mode).
+func WithFormat(f wire.Format) ClientOption { return func(c *Client) { c.format = f } }
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test plumbing). The client must not have a global Timeout
+// if streams are to run long.
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithMaxFrame bounds reply frames (≤ 0 selects wire.DefaultMaxFrame).
+func WithMaxFrame(n int) ClientOption { return func(c *Client) { c.maxFrame = n } }
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{base: base, hc: http.DefaultClient, format: wire.Binary}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// httpError turns a non-2xx response into an error carrying the body.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health reports whether the server answers its liveness probe.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]bool
+	return c.getJSON(ctx, "/healthz", &out)
+}
+
+// CreateTenant registers a new universe on the server.
+func (c *Client) CreateTenant(ctx context.Context, spec TenantSpec) (TenantInfo, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/tenants", bytes.NewReader(body))
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return TenantInfo{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return TenantInfo{}, httpError(resp)
+	}
+	var info TenantInfo
+	err = json.NewDecoder(resp.Body).Decode(&info)
+	return info, err
+}
+
+// Tenants lists the server's tenants.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var out []TenantInfo
+	err := c.getJSON(ctx, "/v1/tenants", &out)
+	return out, err
+}
+
+// Tenant fetches one tenant's info.
+func (c *Client) Tenant(ctx context.Context, name string) (TenantInfo, error) {
+	var out TenantInfo
+	err := c.getJSON(ctx, "/v1/tenants/"+url.PathEscape(name), &out)
+	return out, err
+}
+
+// DropTenant unregisters a tenant.
+func (c *Client) DropTenant(ctx context.Context, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/tenants/"+url.PathEscape(name), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError(resp)
+	}
+	return nil
+}
+
+// Labels fetches a tenant's canonical labelling (quiescent-state read).
+func (c *Client) Labels(ctx context.Context, name string) ([]uint32, error) {
+	var out []uint32
+	err := c.getJSON(ctx, "/v1/tenants/"+url.PathEscape(name)+"/labels", &out)
+	return out, err
+}
+
+// rpc drives one framed request/reply exchange.
+func (c *Client) rpc(ctx context.Context, tenant, action string, env *wire.Envelope) (dsu.BatchReply, error) {
+	var buf bytes.Buffer
+	if err := wire.NewEncoder(&buf, c.format).Encode(env); err != nil {
+		return dsu.BatchReply{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/tenants/"+url.PathEscape(tenant)+"/"+action, &buf)
+	if err != nil {
+		return dsu.BatchReply{}, err
+	}
+	req.Header.Set("Content-Type", c.format.ContentType())
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return dsu.BatchReply{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dsu.BatchReply{}, httpError(resp)
+	}
+	out, err := wire.NewDecoder(resp.Body, c.format, c.maxFrame).Decode()
+	if err != nil {
+		return dsu.BatchReply{}, fmt.Errorf("server reply: %w", err)
+	}
+	switch out.Kind {
+	case wire.KindReply:
+		return *out.Reply, nil
+	case wire.KindError:
+		return dsu.BatchReply{}, fmt.Errorf("server: %s", out.Error)
+	default:
+		return dsu.BatchReply{}, fmt.Errorf("server answered %v to a %v request", out.Kind, env.Kind)
+	}
+}
+
+// UniteAll executes one remote mutation batch on the tenant.
+func (c *Client) UniteAll(ctx context.Context, tenant string, req dsu.UniteRequest) (dsu.BatchReply, error) {
+	return c.rpc(ctx, tenant, "unite", &wire.Envelope{Kind: wire.KindUnite, Unite: &req})
+}
+
+// SameSetAll executes one remote query batch on the tenant.
+func (c *Client) SameSetAll(ctx context.Context, tenant string, req dsu.QueryRequest) (dsu.BatchReply, error) {
+	return c.rpc(ctx, tenant, "query", &wire.Envelope{Kind: wire.KindQuery, Query: &req})
+}
+
+// StreamConfig tunes one stream connection.
+type StreamConfig struct {
+	// Buffer requests a server-side seal threshold (0 keeps the server
+	// default; the server clamps).
+	Buffer int
+	// InFlight requests a server-side in-flight bound (0 keeps the
+	// default of 1; the server clamps to its own maximum).
+	InFlight int
+	// Batch configures every batch the connection's stream executes
+	// (workers, grain, filters; the Find override is RPC-only).
+	Batch dsu.BatchOptions
+	// OnReply, when non-nil, observes every per-batch envelope (reply or
+	// error) as it arrives, from the stream's reader goroutine.
+	OnReply func(*wire.Envelope)
+}
+
+// ClientStream is one open streaming-ingest connection. Push and Flush
+// frame edges to the server; Close ends the edge stream and returns the
+// server's final totals. Push/Flush/Close must be serialized by the
+// caller (one producer per connection — open more connections for more
+// producers); OnReply runs on an internal goroutine concurrently with
+// them.
+type ClientStream struct {
+	pw   *io.PipeWriter
+	enc  wire.Encoder
+	seq  uint64
+	resp *http.Response
+
+	done    chan struct{}
+	onReply func(*wire.Envelope)
+
+	mu      sync.Mutex
+	end     *wire.StreamEnd
+	endErr  string
+	readErr error
+}
+
+// OpenStream opens a streaming-ingest connection to the tenant. The
+// returned stream must be Closed.
+func (c *Client) OpenStream(ctx context.Context, tenant string, cfg StreamConfig) (*ClientStream, error) {
+	q := url.Values{}
+	if cfg.Buffer > 0 {
+		q.Set("buffer", strconv.Itoa(cfg.Buffer))
+	}
+	if cfg.InFlight > 0 {
+		q.Set("inflight", strconv.Itoa(cfg.InFlight))
+	}
+	if cfg.Batch.Workers > 0 {
+		q.Set("workers", strconv.Itoa(cfg.Batch.Workers))
+	}
+	if cfg.Batch.Grain > 0 {
+		q.Set("grain", strconv.Itoa(cfg.Batch.Grain))
+	}
+	if cfg.Batch.Prefilter {
+		q.Set("prefilter", "1")
+	}
+	if cfg.Batch.ConnectedFilter {
+		q.Set("connected", "1")
+	}
+	u := c.base + "/v1/tenants/" + url.PathEscape(tenant) + "/stream"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", c.format.ContentType())
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := httpError(resp)
+		resp.Body.Close()
+		pw.Close()
+		return nil, err
+	}
+	cs := &ClientStream{
+		pw:      pw,
+		enc:     wire.NewEncoder(pw, c.format),
+		resp:    resp,
+		done:    make(chan struct{}),
+		onReply: cfg.OnReply,
+	}
+	go cs.read(wire.NewDecoder(resp.Body, c.format, c.maxFrame))
+	return cs, nil
+}
+
+// read drains reply envelopes until the end envelope or a transport
+// error. Consuming replies promptly is part of the backpressure loop: a
+// client that never read them would eventually stall the server's reply
+// writes, not its own pushes.
+func (cs *ClientStream) read(dec wire.Decoder) {
+	defer close(cs.done)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			cs.mu.Lock()
+			cs.readErr = err
+			cs.mu.Unlock()
+			return
+		}
+		if env.Kind == wire.KindEnd {
+			cs.mu.Lock()
+			cs.end, cs.endErr = env.End, env.Error
+			cs.mu.Unlock()
+			return
+		}
+		if cs.onReply != nil {
+			cs.onReply(env)
+		}
+	}
+}
+
+// Push frames one batch of edges to the server's stream. The server
+// accumulates them by its buffer size; Push blocking here is the
+// end-to-end backpressure (the server has stopped reading).
+func (cs *ClientStream) Push(edges ...dsu.Edge) error {
+	cs.seq++
+	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindUnite, Seq: cs.seq, Unite: &dsu.UniteRequest{Edges: edges}})
+}
+
+// Flush asks the server to seal its current buffer early.
+func (cs *ClientStream) Flush() error {
+	cs.seq++
+	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindFlush, Seq: cs.seq})
+}
+
+// Close ends the edge stream, waits for the server to drain, and returns
+// the final totals. A non-nil StreamEnd with a non-nil error means the
+// server lost batches (shutdown or cancellation mid-stream); Failed says
+// how many.
+func (cs *ClientStream) Close() (*wire.StreamEnd, error) {
+	cs.pw.Close()
+	<-cs.done
+	cs.resp.Body.Close()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.readErr != nil {
+		return cs.end, fmt.Errorf("stream reply channel: %w", cs.readErr)
+	}
+	if cs.endErr != "" {
+		return cs.end, fmt.Errorf("server stream: %s", cs.endErr)
+	}
+	if cs.end == nil {
+		return nil, fmt.Errorf("stream closed without an end envelope")
+	}
+	return cs.end, nil
+}

@@ -1,0 +1,558 @@
+// Package server is the network front end: a stdlib net/http service
+// exposing the dsu package's tenant-scoped Universe API — named universes
+// over flat or sharded backends, batched UniteAll/SameSetAll, and
+// streaming ingestion — to remote clients over the wire package's framing
+// (length-prefixed binary, or newline-delimited JSON for debugging).
+//
+// # Surface
+//
+//	GET    /healthz                     liveness
+//	GET    /v1/tenants                  list tenants
+//	POST   /v1/tenants                  create a tenant (TenantSpec JSON)
+//	GET    /v1/tenants/{name}           tenant info (TenantInfo JSON)
+//	DELETE /v1/tenants/{name}           drop a tenant
+//	GET    /v1/tenants/{name}/labels    canonical labels (JSON; quiescent)
+//	POST   /v1/tenants/{name}/unite     one framed UniteRequest → framed reply
+//	POST   /v1/tenants/{name}/query     one framed QueryRequest → framed reply
+//	POST   /v1/tenants/{name}/stream    full-duplex edge stream (see below)
+//
+// The unite/query endpoints are batch RPC: one request envelope in the
+// body, one reply (or error) envelope back, encoding chosen by
+// Content-Type. Any transport-level problem is a plain HTTP status; once
+// a well-formed envelope arrives, outcomes travel as envelopes so the two
+// encodings behave identically.
+//
+// # Streaming and backpressure
+//
+// The stream endpoint runs one dsu.Stream per connection over the
+// tenant's universe: unite frames push edges into the stream's
+// double-buffered batches, flush frames seal early, and each executed
+// batch answers with a reply envelope (Seq = batch id) written as it
+// completes. Backpressure is end to end — when the stream is MaxInFlight
+// batches ahead, the handler blocks in Push, stops reading the request
+// body, and TCP pushes back on the producer. Closing the request body
+// drains the stream and answers a final end envelope carrying the
+// ingestion totals; Stop (server shutdown) cancels the stream context,
+// which ends ingestion promptly (the loop selects against the context,
+// so even a push-only connection blocked in a body read observes it),
+// surfaces the dsu layer's Flush/Close cancellation errors, and reports
+// the abort and any lost batches in the end envelope — the clean-shutdown
+// path those cancellation errors exist for.
+//
+// # Isolation
+//
+// Tenants are isolated structurally: each universe owns its structure,
+// and nothing is shared across names (the dsu.Registry's contract). The
+// server adds resource isolation: every tenant has its own bounded
+// in-flight budget (MaxInFlight) for RPC batches, so one tenant's burst
+// queues against itself, not against other tenants; streams bound
+// in-flight batches per connection by construction. Requests are
+// validated against the tenant's universe before execution — a remote
+// frame can never reach the wait-free core's unchecked indexing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/dsu"
+	"repro/internal/wire"
+)
+
+// Config tunes one Server. The zero value of every field selects a
+// sensible default; Registry is required.
+type Config struct {
+	// Registry holds the tenants. Preload it (cmd/dsuserve's -tenant
+	// flags) or let clients create tenants remotely.
+	Registry *dsu.Registry
+	// MaxFrame bounds one wire message; ≤ 0 selects wire.DefaultMaxFrame.
+	MaxFrame int
+	// MaxInFlight bounds, per tenant, the RPC batches executing
+	// concurrently, and caps the per-connection in-flight bound a stream
+	// may request; ≤ 0 selects 4.
+	MaxInFlight int
+	// StreamBuffer is the default stream seal threshold in edges; ≤ 0
+	// selects the dsu default (65536). Connections may override with the
+	// ?buffer= query parameter, clamped to MaxFrame's edge capacity.
+	StreamBuffer int
+	// MaxN caps the universe size a remote tenant create may request —
+	// structure allocation is synchronous and proportional to n, so an
+	// unauthenticated create must not be able to reserve arbitrary
+	// memory. ≤ 0 selects 1<<26 (~67M elements, ~0.5 GiB per flat
+	// structure). Preloaded tenants (the operator's own flags) are not
+	// subject to it.
+	MaxN int
+	// Logf, when non-nil, receives one line per request and per stream
+	// lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is the HTTP front end. Create with New; it is an http.Handler.
+type Server struct {
+	cfg  Config
+	reg  *dsu.Registry
+	stop chan struct{}
+	once sync.Once
+	sems sync.Map // tenant name → chan struct{} (RPC in-flight budget)
+}
+
+// New returns a server over cfg.Registry. It panics on a nil registry —
+// that is a programming error, not a runtime condition.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		panic("server: Config.Registry is required")
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = wire.DefaultMaxFrame
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4
+	}
+	if cfg.MaxN <= 0 {
+		cfg.MaxN = 1 << 26
+	}
+	return &Server{cfg: cfg, reg: cfg.Registry, stop: make(chan struct{})}
+}
+
+// Stop begins shutdown: open stream connections have their contexts
+// cancelled (their clients get loss-reporting end envelopes), and RPCs
+// waiting on in-flight budgets abort. Pair with http.Server.Shutdown,
+// which handles the listener and in-flight handlers. Idempotent.
+func (s *Server) Stop() { s.once.Do(func() { close(s.stop) }) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// TenantSpec is the JSON body of POST /v1/tenants: the tenant name plus
+// the structure configuration, phrased in the dsu option vocabulary's
+// wire-friendly form. Shards > 0 selects a sharded structure; Find names
+// a strategy per dsu.ParseFindStrategy ("auto" turns on the adaptive
+// policy); Seed fixes the random linking order for reproducible tenants.
+type TenantSpec struct {
+	Name             string `json:"name"`
+	N                int    `json:"n"`
+	Shards           int    `json:"shards,omitempty"`
+	Find             string `json:"find,omitempty"`
+	EarlyTermination bool   `json:"early_termination,omitempty"`
+	Seed             uint64 `json:"seed,omitempty"`
+}
+
+// Options translates the spec into the dsu option vocabulary — the one
+// translation both remote creates and cmd/dsuserve's preload flags use,
+// so the two paths cannot drift.
+func (sp TenantSpec) Options() ([]dsu.Option, error) {
+	find, err := dsu.ParseFindStrategy(sp.Find)
+	if err != nil {
+		return nil, err
+	}
+	var opts []dsu.Option
+	if find != 0 {
+		opts = append(opts, dsu.WithFind(find))
+	}
+	if sp.EarlyTermination {
+		opts = append(opts, dsu.WithEarlyTermination())
+	}
+	if sp.Seed != 0 {
+		opts = append(opts, dsu.WithSeed(sp.Seed))
+	}
+	if sp.Shards > 0 {
+		opts = append(opts, dsu.WithShards(sp.Shards))
+	}
+	return opts, nil
+}
+
+// TenantInfo describes one tenant in list/info responses.
+type TenantInfo struct {
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	Kind     string `json:"kind"`
+	Shards   int    `json:"shards,omitempty"`
+	Adaptive bool   `json:"adaptive,omitempty"`
+	Sets     int    `json:"sets"`
+}
+
+func infoOf(u *dsu.Universe) TenantInfo {
+	return TenantInfo{
+		Name:     u.Name(),
+		N:        u.N(),
+		Kind:     u.Kind(),
+		Shards:   u.Shards(),
+		Adaptive: u.Adaptive(),
+		Sets:     u.Sets(),
+	}
+}
+
+// validName keeps tenant names path- and log-safe.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/healthz":
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	case path == "/v1/tenants" || path == "/v1/tenants/":
+		s.handleTenants(w, r)
+	case strings.HasPrefix(path, "/v1/tenants/"):
+		rest := strings.TrimPrefix(path, "/v1/tenants/")
+		name, action, _ := strings.Cut(rest, "/")
+		if !validName(name) {
+			http.Error(w, "invalid tenant name", http.StatusBadRequest)
+			return
+		}
+		u, ok := s.reg.Get(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("tenant %q not found", name), http.StatusNotFound)
+			return
+		}
+		switch action {
+		case "":
+			s.handleTenant(w, r, u)
+		case "labels":
+			if r.Method != http.MethodGet {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			writeJSON(w, http.StatusOK, u.CanonicalLabels())
+		case "unite":
+			s.handleRPC(w, r, u, wire.KindUnite)
+		case "query":
+			s.handleRPC(w, r, u, wire.KindQuery)
+		case "stream":
+			s.handleStream(w, r, u)
+		default:
+			http.Error(w, "unknown action", http.StatusNotFound)
+		}
+	default:
+		http.Error(w, "not found", http.StatusNotFound)
+	}
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		infos := make([]TenantInfo, 0)
+		for _, name := range s.reg.Names() {
+			if u, ok := s.reg.Get(name); ok {
+				infos = append(infos, infoOf(u))
+			}
+		}
+		writeJSON(w, http.StatusOK, infos)
+	case http.MethodPost:
+		var spec TenantSpec
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&spec); err != nil {
+			http.Error(w, "bad tenant spec: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if !validName(spec.Name) {
+			http.Error(w, "invalid tenant name", http.StatusBadRequest)
+			return
+		}
+		if spec.N > s.cfg.MaxN {
+			http.Error(w, fmt.Sprintf("universe size %d exceeds this server's limit of %d", spec.N, s.cfg.MaxN), http.StatusBadRequest)
+			return
+		}
+		opts, err := spec.Options()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		u, err := s.reg.Create(spec.Name, spec.N, opts...)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already exists") {
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		s.logf("tenant %q created: n=%d kind=%s shards=%d", u.Name(), u.N(), u.Kind(), u.Shards())
+		writeJSON(w, http.StatusCreated, infoOf(u))
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request, u *dsu.Universe) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, infoOf(u))
+	case http.MethodDelete:
+		s.reg.Drop(u.Name())
+		s.sems.Delete(u.Name())
+		s.logf("tenant %q dropped", u.Name())
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// sem returns the tenant's RPC in-flight budget.
+func (s *Server) sem(name string) chan struct{} {
+	if v, ok := s.sems.Load(name); ok {
+		return v.(chan struct{})
+	}
+	v, _ := s.sems.LoadOrStore(name, make(chan struct{}, s.cfg.MaxInFlight))
+	return v.(chan struct{})
+}
+
+// handleRPC answers one framed batch request. Envelope kind must match
+// the endpoint — /unite carries unite envelopes, /query query envelopes —
+// so a misrouted frame fails loudly instead of mutating the wrong way.
+func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Universe, want wire.Kind) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	format, ok := wire.FormatFor(r.Header.Get("Content-Type"))
+	if !ok {
+		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
+		return
+	}
+	env, err := wire.NewDecoder(r.Body, format, s.cfg.MaxFrame).Decode()
+	if err != nil {
+		http.Error(w, "bad frame: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if env.Kind != want {
+		http.Error(w, fmt.Sprintf("endpoint wants %v envelopes, got %v", want, env.Kind), http.StatusBadRequest)
+		return
+	}
+
+	// Per-tenant bounded in-flight: a burst queues against its own tenant's
+	// budget (or gives up with the client), never against other tenants.
+	sem := s.sem(u.Name())
+	select {
+	case sem <- struct{}{}:
+		defer func() { <-sem }()
+	case <-r.Context().Done():
+		http.Error(w, "client went away", http.StatusRequestTimeout)
+		return
+	case <-s.stop:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+
+	var rep dsu.BatchReply
+	var execErr error
+	switch want {
+	case wire.KindUnite:
+		rep, execErr = u.UniteAll(*env.Unite)
+	case wire.KindQuery:
+		rep, execErr = u.SameSetAll(*env.Query)
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	enc := wire.NewEncoder(w, format)
+	if execErr != nil {
+		_ = enc.Encode(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: execErr.Error()})
+		return
+	}
+	_ = enc.Encode(&wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep})
+}
+
+// streamEdgeCap converts the frame limit into a sane ceiling for
+// client-requested stream buffers.
+func (s *Server) streamEdgeCap() int { return s.cfg.MaxFrame / 8 }
+
+// handleStream runs one dsu.Stream per connection (see the package docs
+// for the protocol and backpressure story).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Universe) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	format, ok := wire.FormatFor(r.Header.Get("Content-Type"))
+	if !ok {
+		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
+		return
+	}
+
+	// Connection-level stream tuning from query parameters, clamped to the
+	// server's own bounds.
+	q := r.URL.Query()
+	buffer := s.cfg.StreamBuffer
+	if v, err := strconv.Atoi(q.Get("buffer")); err == nil && v > 0 {
+		buffer = v
+	}
+	if edgeCap := s.streamEdgeCap(); buffer > edgeCap {
+		buffer = edgeCap
+	}
+	inflight := 0 // dsu default (1) unless requested
+	if v, err := strconv.Atoi(q.Get("inflight")); err == nil && v > 0 {
+		inflight = v
+	}
+	if inflight > s.cfg.MaxInFlight {
+		inflight = s.cfg.MaxInFlight
+	}
+	batch := dsu.BatchOptions{
+		Prefilter:       q.Get("prefilter") == "1" || q.Get("prefilter") == "true",
+		ConnectedFilter: q.Get("connected") == "1" || q.Get("connected") == "true",
+	}
+	if v, err := strconv.Atoi(q.Get("workers")); err == nil && v > 0 {
+		// Stream batches bypass the DTO resolve step, so apply its
+		// goroutine cap here.
+		batch.Workers = min(v, dsu.MaxBatchWorkers)
+	}
+	if v, err := strconv.Atoi(q.Get("grain")); err == nil && v > 0 {
+		batch.Grain = v
+	}
+
+	// The stream context dies with the client or with server Stop; either
+	// way the dsu layer's cancellation errors surface at the Push/Flush
+	// call sites below and in the final end envelope.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	w.Header().Set("Content-Type", format.ContentType())
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex() // HTTP/1.1: read the body while answering
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	enc := wire.NewEncoder(w, format)
+	var wmu sync.Mutex // OnBatch (dispatcher goroutine) vs. this handler
+	write := func(env *wire.Envelope) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := enc.Encode(env); err == nil {
+			_ = rc.Flush()
+		}
+	}
+
+	st := u.NewStream(
+		dsu.WithStreamContext(ctx),
+		dsu.WithBufferSize(buffer),
+		dsu.WithMaxInFlight(inflight),
+		dsu.WithBatchOptions(batch.Options()...),
+		dsu.WithOnBatch(func(br dsu.BatchResult) {
+			if br.Err != nil {
+				write(&wire.Envelope{Kind: wire.KindError, Seq: br.ID, Error: br.Err.Error()})
+				return
+			}
+			rep := dsu.ReplyOf(br)
+			write(&wire.Envelope{Kind: wire.KindReply, Seq: br.ID, Reply: &rep})
+		}),
+	)
+	s.logf("stream open: tenant=%q format=%v buffer=%d inflight=%d", u.Name(), format, st.BufferSize(), inflight)
+
+	// Decode on a side goroutine so the ingest loop can select against the
+	// stream context: a push-only connection otherwise blocks in a body
+	// read and would never observe Stop — the handler must end promptly to
+	// deliver the loss-reporting end envelope inside the drain budget. The
+	// goroutine parks in sending position when ctx dies first and exits
+	// once the handler's return tears the connection down.
+	type decoded struct {
+		env *wire.Envelope
+		err error
+	}
+	frames := make(chan decoded)
+	go func() {
+		dec := wire.NewDecoder(r.Body, format, s.cfg.MaxFrame)
+		for {
+			env, err := dec.Decode()
+			select {
+			case frames <- decoded{env, err}:
+				if err != nil {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var abortErr error // the cancellation that cut ingestion short, if any
+ingest:
+	for {
+		var d decoded
+		select {
+		case <-ctx.Done():
+			abortErr = ctx.Err()
+			write(&wire.Envelope{Kind: wire.KindError, Error: "stream aborted: " + abortErr.Error()})
+			break ingest
+		case d = <-frames:
+		}
+		env, err := d.env, d.err
+		switch {
+		case err == io.EOF:
+			break ingest // clean end of the edge stream
+		case err != nil:
+			write(&wire.Envelope{Kind: wire.KindError, Error: "bad frame: " + err.Error()})
+			break ingest
+		}
+		switch env.Kind {
+		case wire.KindUnite:
+			if err := u.Validate(env.Unite.Edges); err != nil {
+				// A range violation poisons nothing: reject the frame,
+				// keep the stream.
+				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
+				continue
+			}
+			if err := st.Push(env.Unite.Edges...); err != nil {
+				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
+				break ingest
+			}
+		case wire.KindFlush:
+			if err := st.Flush(); err != nil {
+				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
+				break ingest
+			}
+		default:
+			write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: fmt.Sprintf("stream connections take unite/flush envelopes, got %v", env.Kind)})
+			break ingest
+		}
+	}
+
+	closeErr := st.Close()
+	if closeErr == nil {
+		// Even when every sealed batch executed before the cancellation
+		// (nothing lost), an aborted connection must not look like a clean
+		// close: the client's edge stream was cut short.
+		closeErr = abortErr
+	}
+	end := &wire.Envelope{Kind: wire.KindEnd, End: &wire.StreamEnd{
+		Batches:  st.Batches(),
+		Edges:    st.Edges(),
+		Merged:   st.Merged(),
+		Filtered: st.Filtered(),
+		Failed:   st.Failed(),
+	}}
+	if closeErr != nil {
+		end.Error = closeErr.Error()
+	}
+	write(end)
+	s.logf("stream done: tenant=%q batches=%d edges=%d merged=%d failed=%d err=%v",
+		u.Name(), st.Batches(), st.Edges(), st.Merged(), st.Failed(), closeErr)
+}

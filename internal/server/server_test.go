@@ -1,0 +1,443 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/dsu"
+	"repro/internal/wire"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = dsu.NewRegistry()
+	}
+	s := New(cfg)
+	hs := httptest.NewServer(s)
+	t.Cleanup(hs.Close)
+	return s, NewClient(hs.URL, WithHTTPClient(hs.Client()))
+}
+
+func testEdges(n, m int, seed int64) []dsu.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]dsu.Edge, m)
+	for i := range edges {
+		edges[i] = dsu.Edge{X: uint32(rng.Intn(n)), Y: uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+func TestTenantAdmin(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	flat, err := c.CreateTenant(ctx, TenantSpec{Name: "alpha", N: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Kind != "flat" || flat.N != 100 || flat.Sets != 100 {
+		t.Errorf("alpha info = %+v", flat)
+	}
+	sh, err := c.CreateTenant(ctx, TenantSpec{Name: "beta", N: 100, Shards: 4, Find: "auto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Kind != "sharded" || sh.Shards != 4 || !sh.Adaptive {
+		t.Errorf("beta info = %+v", sh)
+	}
+	infos, err := c.Tenants(ctx)
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("Tenants = %v, %v", infos, err)
+	}
+	if _, err := c.Tenant(ctx, "missing"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("missing tenant err = %v", err)
+	}
+	if _, err := c.CreateTenant(ctx, TenantSpec{Name: "alpha", N: 5}); err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	for _, bad := range []TenantSpec{
+		{Name: "sp ace", N: 5},
+		{Name: "x", N: -1},
+		{Name: "x", N: 1 << 30}, // past the server's MaxN resource cap
+		{Name: "x", N: 5, Find: "zorp"},
+		{Name: "x", N: 5, Find: "halving", EarlyTermination: true},
+	} {
+		if _, err := c.CreateTenant(ctx, bad); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	if err := c.DropTenant(ctx, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTenant(ctx, "alpha"); err == nil {
+		t.Error("second drop succeeded")
+	}
+}
+
+// TestRPCMatchesInProcess checks one remote unite+query round against the
+// in-process oracle, in both encodings, including the per-batch find
+// override and the reply's accounting.
+func TestRPCMatchesInProcess(t *testing.T) {
+	const n, m = 800, 2400
+	edges := testEdges(n, m, 5)
+	queries := testEdges(n, m/2, 6)
+
+	for _, format := range []wire.Format{wire.Binary, wire.JSON} {
+		t.Run(format.String(), func(t *testing.T) {
+			reg := dsu.NewRegistry()
+			_, c := newTestServer(t, Config{Registry: reg})
+			c.format = format
+			ctx := context.Background()
+			if _, err := c.CreateTenant(ctx, TenantSpec{Name: "t", N: n, Seed: 11}); err != nil {
+				t.Fatal(err)
+			}
+			oracle := dsu.New(n, dsu.WithSeed(11))
+			wantMerged := oracle.UniteAll(edges, dsu.WithPrefilter())
+
+			rep, err := c.UniteAll(ctx, "t", dsu.UniteRequest{Edges: edges, Options: dsu.BatchOptions{Prefilter: true}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(rep.Merged) != wantMerged {
+				t.Errorf("remote Merged = %d, want %d", rep.Merged, wantMerged)
+			}
+			if rep.Stats.Ops == 0 || rep.Elapsed <= 0 || rep.Filtered == 0 {
+				t.Errorf("reply accounting looks empty: %+v", rep)
+			}
+
+			want := oracle.SameSetAll(queries)
+			qrep, err := c.SameSetAll(ctx, "t", dsu.QueryRequest{Pairs: queries, Options: dsu.BatchOptions{Find: dsu.NoCompaction}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(qrep.Answers, want) {
+				t.Error("remote answers differ from in-process oracle")
+			}
+			if qrep.Find != dsu.NoCompaction {
+				t.Errorf("reply Find = %v, want the override", qrep.Find)
+			}
+
+			// Validation errors travel as error envelopes, not broken frames.
+			if _, err := c.UniteAll(ctx, "t", dsu.UniteRequest{Edges: []dsu.Edge{{X: 0, Y: uint32(n)}}}); err == nil || !strings.Contains(err.Error(), "universe") {
+				t.Errorf("out-of-range unite err = %v", err)
+			}
+
+			labels, err := c.Labels(ctx, "t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(labels, oracle.CanonicalLabels()) {
+				t.Error("remote labels differ from oracle")
+			}
+		})
+	}
+}
+
+// TestConcurrentTenantsMatchOracle is the acceptance test: two isolated
+// tenants — one flat, one sharded+adaptive — each served concurrently by
+// stream and RPC clients in both encodings, with queries in flight, must
+// end with exactly the partition a sequential in-process pass produces.
+// Run under -race (CI does).
+func TestConcurrentTenantsMatchOracle(t *testing.T) {
+	// Sparse enough (m/n = 2) that each tenant keeps a distinctive
+	// multi-component partition — a fully connected graph would make the
+	// isolation check below vacuous.
+	const n, m, clients = 1200, 2400, 3
+	_, c := newTestServer(t, Config{MaxInFlight: 3, StreamBuffer: 256})
+	ctx := context.Background()
+
+	tenants := []struct {
+		spec  TenantSpec
+		edges []dsu.Edge
+	}{
+		{TenantSpec{Name: "flat", N: n}, testEdges(n, m, 101)},
+		{TenantSpec{Name: "shard", N: n, Shards: 4, Find: "auto"}, testEdges(n, m, 202)},
+	}
+	for _, tn := range tenants {
+		if _, err := c.CreateTenant(ctx, tn.spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for _, tn := range tenants {
+		per := (len(tn.edges) + clients - 1) / clients
+		for i := 0; i < clients; i++ {
+			lo := i * per
+			hi := min(lo+per, len(tn.edges))
+			part := tn.edges[lo:hi]
+			wg.Add(1)
+			go func(name string, idx int, part []dsu.Edge) {
+				defer wg.Done()
+				switch idx {
+				case 0: // streaming ingest, binary, small batches
+					cs, err := c.OpenStream(ctx, name, StreamConfig{Buffer: 128, InFlight: 2})
+					if err != nil {
+						errs <- fmt.Errorf("%s stream open: %w", name, err)
+						return
+					}
+					for j := 0; j < len(part); j += 100 {
+						if err := cs.Push(part[j:min(j+100, len(part))]...); err != nil {
+							errs <- fmt.Errorf("%s push: %w", name, err)
+							return
+						}
+					}
+					if err := cs.Flush(); err != nil {
+						errs <- err
+						return
+					}
+					end, err := cs.Close()
+					if err != nil {
+						errs <- fmt.Errorf("%s stream close: %w", name, err)
+						return
+					}
+					if end.Edges != int64(len(part)) || end.Failed != 0 {
+						errs <- fmt.Errorf("%s stream totals %+v, want %d edges, 0 failed", name, end, len(part))
+					}
+				case 1: // RPC, binary, chunked
+					for j := 0; j < len(part); j += 500 {
+						if _, err := c.UniteAll(ctx, name, dsu.UniteRequest{Edges: part[j:min(j+500, len(part))]}); err != nil {
+							errs <- fmt.Errorf("%s rpc unite: %w", name, err)
+							return
+						}
+					}
+				default: // RPC, JSON debug mode
+					jc := *c
+					jc.format = wire.JSON
+					for j := 0; j < len(part); j += 500 {
+						if _, err := jc.UniteAll(ctx, name, dsu.UniteRequest{Edges: part[j:min(j+500, len(part))]}); err != nil {
+							errs <- fmt.Errorf("%s json unite: %w", name, err)
+							return
+						}
+					}
+				}
+			}(tn.spec.Name, i, part)
+		}
+		// One concurrent query client per tenant: answers mid-flight are
+		// only checked for transport health, not content.
+		wg.Add(1)
+		go func(name string, pairs []dsu.Edge) {
+			defer wg.Done()
+			for j := 0; j+50 <= len(pairs) && j < 500; j += 50 {
+				if _, err := c.SameSetAll(ctx, name, dsu.QueryRequest{Pairs: pairs[j : j+50]}); err != nil {
+					errs <- fmt.Errorf("%s mid-flight query: %w", name, err)
+					return
+				}
+			}
+		}(tn.spec.Name, tn.edges)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent: every tenant's partition must equal its own sequential
+	// oracle — and, isolation, not the other tenant's.
+	var labelSets [][]uint32
+	for _, tn := range tenants {
+		oracle := dsu.New(n)
+		oracle.UniteAll(tn.edges)
+		want := oracle.CanonicalLabels()
+		got, err := c.Labels(ctx, tn.spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("tenant %s: remote partition differs from sequential oracle", tn.spec.Name)
+		}
+		info, err := c.Tenant(ctx, tn.spec.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Sets != oracle.Sets() {
+			t.Errorf("tenant %s: Sets = %d, oracle %d", tn.spec.Name, info.Sets, oracle.Sets())
+		}
+		labelSets = append(labelSets, got)
+	}
+	if reflect.DeepEqual(labelSets[0], labelSets[1]) {
+		t.Error("distinct tenants ended with identical partitions — isolation suspect (or the generator produced twins)")
+	}
+}
+
+// TestStreamReplies checks the per-batch reply channel: sealed batches
+// answer in order with batch ids and real accounting.
+func TestStreamReplies(t *testing.T) {
+	const n = 500
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, TenantSpec{Name: "t", N: n}); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var seqs []uint64
+	var merged int64
+	cs, err := c.OpenStream(ctx, "t", StreamConfig{Buffer: 100, OnReply: func(env *wire.Envelope) {
+		mu.Lock()
+		defer mu.Unlock()
+		if env.Kind != wire.KindReply {
+			t.Errorf("unexpected envelope %v: %s", env.Kind, env.Error)
+			return
+		}
+		seqs = append(seqs, env.Seq)
+		merged += env.Reply.Merged
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := testEdges(n, 350, 9)
+	for _, e := range edges {
+		if err := cs.Push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	end, err := cs.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Batches != 4 || end.Edges != 350 {
+		t.Errorf("end totals = %+v, want 4 batches / 350 edges", end)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !reflect.DeepEqual(seqs, []uint64{1, 2, 3, 4}) {
+		t.Errorf("reply batch ids = %v, want in-order 1..4", seqs)
+	}
+	if merged != end.Merged {
+		t.Errorf("sum of per-batch merges %d ≠ end total %d", merged, end.Merged)
+	}
+}
+
+// TestStreamRejectsBadFrames: a range-violating unite frame is refused
+// with an error envelope while the stream survives; a misrouted kind ends
+// the stream.
+func TestStreamRejectsBadFrames(t *testing.T) {
+	const n = 50
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, TenantSpec{Name: "t", N: n}); err != nil {
+		t.Fatal(err)
+	}
+	var rejected atomic.Int64
+	cs, err := c.OpenStream(ctx, "t", StreamConfig{OnReply: func(env *wire.Envelope) {
+		if env.Kind == wire.KindError && strings.Contains(env.Error, "universe") {
+			rejected.Add(1)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Push(dsu.Edge{X: 0, Y: 999}); err != nil { // out of range: rejected, stream lives
+		t.Fatal(err)
+	}
+	if err := cs.Push(dsu.Edge{X: 1, Y: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	end, err := cs.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end.Edges != 1 || end.Merged != 1 {
+		t.Errorf("end totals = %+v, want exactly the valid edge ingested", end)
+	}
+	if rejected.Load() != 1 {
+		t.Errorf("rejected frames = %d, want 1", rejected.Load())
+	}
+}
+
+// TestBodylessEnvelopeRejected pins the JSON kind→body invariant at the
+// HTTP boundary: an envelope naming a kind without carrying its body is a
+// 400, never a handler panic.
+func TestBodylessEnvelopeRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, TenantSpec{Name: "t", N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for _, body := range []string{`{"kind":"unite"}`, `{"kind":"query"}`} {
+		action := "unite"
+		if strings.Contains(body, "query") {
+			action = "query"
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.base+"/v1/tenants/t/"+action, strings.NewReader(body+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json; charset=utf-8") // parameters must be tolerated
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestStopSurfacesShutdownToStreams wires the shutdown satellite end to
+// end: Server.Stop must end even a push-only stream connection promptly —
+// no flush, no body close, the handler is parked in a body read — and the
+// client's Close must report the cancellation rather than a clean end.
+// Batches buffered-but-unsealed at the abort are abandoned by the
+// stream's Close and surface through the same error (the dsu layer's
+// Flush/Close cancellation contract, over the wire).
+func TestStopSurfacesShutdownToStreams(t *testing.T) {
+	const n = 200
+	s, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := c.CreateTenant(ctx, TenantSpec{Name: "t", N: n}); err != nil {
+		t.Fatal(err)
+	}
+	var aborted atomic.Int64
+	cs, err := c.OpenStream(ctx, "t", StreamConfig{Buffer: 1 << 20, OnReply: func(env *wire.Envelope) {
+		if env.Kind == wire.KindError && strings.Contains(env.Error, "context canceled") {
+			aborted.Add(1)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges below the seal threshold: genuinely in-flight work the client
+	// never flushed. The server must not need another frame to notice Stop.
+	if err := cs.Push(testEdges(n, 50, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	s.Stop()
+	// Stop propagates asynchronously; the abort envelope — which the
+	// server sends unprompted, without the client closing or flushing — is
+	// the observable proof the push-only connection noticed. Wait for it
+	// before closing, so the close below cannot race a clean shutdown.
+	deadline := time.Now().Add(10 * time.Second)
+	for aborted.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never aborted the push-only stream after Stop")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	end, err := cs.Close()
+	if err == nil {
+		t.Fatalf("Close after Stop = nil error, end=%+v; want the cancellation surfaced", end)
+	}
+	if !strings.Contains(err.Error(), "context canceled") {
+		t.Errorf("Close err = %v, want context cancellation", err)
+	}
+}

@@ -465,9 +465,11 @@ func (v view) SameSetCounted(x, y uint32, st *core.Stats) bool {
 	return v.sameSet(x, y, st)
 }
 
-// CanonicalLabels returns the min-element labelling of the global
-// partition. Quiescent-state use only, like the flat structure's.
-func (d *DSU) CanonicalLabels() []uint32 {
+// reps resolves every element's global representative — the bridge root of
+// its shard-local root — in one pass per shard over a parent-array
+// snapshot. Quiescent-state use only: mid-mutation, local roots and bridge
+// classes are in flux and the per-root memoization would mix epochs.
+func (d *DSU) reps() []uint32 {
 	n := d.part.N()
 	rep := make([]uint32, n)
 	for i := 0; i < d.part.Shards(); i++ {
@@ -486,6 +488,30 @@ func (d *DSU) CanonicalLabels() []uint32 {
 			rep[d.part.Global(i, uint32(lx))] = br
 		}
 	}
+	return rep
+}
+
+// Snapshot returns the flattened global forest: element x's entry is its
+// global representative, so every tree has depth at most one. The
+// two-level structure has no single parent array to copy — stitching the
+// local and bridge forests into one pointer array can cycle through
+// dethroned roots — so the flattened view is the honest single-array
+// picture of the partition. Roots are exactly the global representatives
+// (parent[x] == x), matching the flat structure's root convention.
+// Quiescent-state use only.
+func (d *DSU) Snapshot() []uint32 { return d.reps() }
+
+// ID returns x's position in the bridge level's random linking order,
+// fixed at construction — the globally meaningful analogue of the flat
+// structure's ID (each shard's local forest has its own order; the bridge
+// order is the one spanning the whole universe).
+func (d *DSU) ID(x uint32) uint32 { return d.bridge.ID(x) }
+
+// CanonicalLabels returns the min-element labelling of the global
+// partition. Quiescent-state use only, like the flat structure's.
+func (d *DSU) CanonicalLabels() []uint32 {
+	n := d.part.N()
+	rep := d.reps()
 	minOf := make(map[uint32]uint32, 16)
 	for x := 0; x < n; x++ {
 		if m, ok := minOf[rep[x]]; !ok || uint32(x) < m {

@@ -1,0 +1,309 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/dsu"
+	"repro/internal/core"
+)
+
+// Binary framing: every message is a 4-byte big-endian payload length
+// followed by the payload. The payload opens with a 1-byte kind and an
+// 8-byte big-endian sequence number; the body depends on the kind.
+//
+//	unite/query  [workers i32][grain i32][find u8][flags u8][edges: X u32, Y u32 ...]
+//	reply        [merged i64][filtered i64][elapsed i64][stats 10×i64][find u8][flags u8]
+//	             [answer count u32][answer bitset]        (count+bitset only when flags bit0)
+//	error        [utf-8 message]
+//	end          [batches u64][edges i64][merged i64][filtered i64][failed u64][utf-8 close error]
+//	flush        (empty)
+//
+// Edge counts are never declared — they are derived from the frame length,
+// so a count can't contradict the bytes that actually arrived. The answer
+// bitset does declare a count (answers aren't byte-aligned) and the
+// decoder insists the bitset length matches it exactly. Option flags:
+// bit 0 prefilter, bit 1 connected-filter. Reply flags: bit 0 "answers
+// present" (distinguishing a unite reply's absent answers from a query
+// reply with zero pairs). Stats order is the core.Stats field order —
+// Reads, CASAttempts, CASFailures, FindSteps, Rounds, Finds, Links,
+// Rewrites, Ops, Filtered — and must be revisited if core.Stats grows.
+const (
+	binHeaderLen = 4
+	binMetaLen   = 1 + 8 // kind + seq
+	binOptsLen   = 4 + 4 + 1 + 1
+	binStatsLen  = 10 * 8
+	binReplyLen  = 8 + 8 + 8 + binStatsLen + 1 + 1
+	binEndLen    = 8 + 8 + 8 + 8 + 8
+)
+
+type binaryEncoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+func newBinaryEncoder(w io.Writer) *binaryEncoder { return &binaryEncoder{w: w} }
+
+// clamp32 saturates an int into int32 range for the options fields (any
+// out-of-range tuning value means "default" or "absurd" downstream anyway).
+func clamp32(v int) int32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+func appendOptions(b []byte, o dsu.BatchOptions) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(clamp32(o.Workers)))
+	b = binary.BigEndian.AppendUint32(b, uint32(clamp32(o.Grain)))
+	b = append(b, byte(o.Find))
+	var flags byte
+	if o.Prefilter {
+		flags |= 1
+	}
+	if o.ConnectedFilter {
+		flags |= 2
+	}
+	return append(b, flags)
+}
+
+func appendEdges(b []byte, edges []dsu.Edge) []byte {
+	for _, e := range edges {
+		b = binary.BigEndian.AppendUint32(b, e.X)
+		b = binary.BigEndian.AppendUint32(b, e.Y)
+	}
+	return b
+}
+
+func appendStats(b []byte, s core.Stats) []byte {
+	for _, v := range [...]int64{s.Reads, s.CASAttempts, s.CASFailures, s.FindSteps, s.Rounds, s.Finds, s.Links, s.Rewrites, s.Ops, s.Filtered} {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	return b
+}
+
+func (e *binaryEncoder) Encode(env *Envelope) error {
+	b := e.buf[:0]
+	b = append(b, 0, 0, 0, 0) // length, patched below
+	b = append(b, byte(env.Kind))
+	b = binary.BigEndian.AppendUint64(b, env.Seq)
+	switch env.Kind {
+	case KindUnite:
+		var req dsu.UniteRequest
+		if env.Unite != nil {
+			req = *env.Unite
+		}
+		b = appendOptions(b, req.Options)
+		b = appendEdges(b, req.Edges)
+	case KindQuery:
+		var req dsu.QueryRequest
+		if env.Query != nil {
+			req = *env.Query
+		}
+		b = appendOptions(b, req.Options)
+		b = appendEdges(b, req.Pairs)
+	case KindFlush:
+	case KindReply:
+		var rep dsu.BatchReply
+		if env.Reply != nil {
+			rep = *env.Reply
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(rep.Merged))
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(rep.Filtered)))
+		b = binary.BigEndian.AppendUint64(b, uint64(int64(rep.Elapsed)))
+		b = appendStats(b, rep.Stats)
+		b = append(b, byte(rep.Find))
+		if rep.Answers != nil {
+			b = append(b, 1)
+			b = binary.BigEndian.AppendUint32(b, uint32(len(rep.Answers)))
+			bits := make([]byte, (len(rep.Answers)+7)/8)
+			for i, v := range rep.Answers {
+				if v {
+					bits[i/8] |= 1 << (i % 8)
+				}
+			}
+			b = append(b, bits...)
+		} else {
+			b = append(b, 0)
+		}
+	case KindError:
+		b = append(b, env.Error...)
+	case KindEnd:
+		var end StreamEnd
+		if env.End != nil {
+			end = *env.End
+		}
+		b = binary.BigEndian.AppendUint64(b, end.Batches)
+		b = binary.BigEndian.AppendUint64(b, uint64(end.Edges))
+		b = binary.BigEndian.AppendUint64(b, uint64(end.Merged))
+		b = binary.BigEndian.AppendUint64(b, uint64(end.Filtered))
+		b = binary.BigEndian.AppendUint64(b, end.Failed)
+		b = append(b, env.Error...) // the close error rides the end frame
+	default:
+		return fmt.Errorf("%w: cannot encode kind %d", ErrCorruptFrame, env.Kind)
+	}
+	payload := len(b) - binHeaderLen
+	if uint64(payload) > math.MaxUint32 {
+		return ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	e.buf = b // recycle the working buffer across messages
+	_, err := e.w.Write(b)
+	return err
+}
+
+type binaryDecoder struct {
+	r        io.Reader
+	maxFrame int
+	head     [binHeaderLen]byte
+	buf      []byte
+}
+
+func newBinaryDecoder(r io.Reader, maxFrame int) *binaryDecoder {
+	return &binaryDecoder{r: r, maxFrame: maxFrame}
+}
+
+func (d *binaryDecoder) Decode() (*Envelope, error) {
+	if _, err := io.ReadFull(d.r, d.head[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err // io.EOF here is a clean end of stream
+	}
+	length := int(binary.BigEndian.Uint32(d.head[:]))
+	if length > d.maxFrame {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, length, d.maxFrame)
+	}
+	if length < binMetaLen {
+		return nil, fmt.Errorf("%w: %d-byte payload cannot hold kind and sequence", ErrCorruptFrame, length)
+	}
+	if cap(d.buf) < length {
+		d.buf = make([]byte, length)
+	}
+	p := d.buf[:length]
+	if _, err := io.ReadFull(d.r, p); err != nil {
+		return nil, io.ErrUnexpectedEOF
+	}
+	env := &Envelope{Kind: Kind(p[0]), Seq: binary.BigEndian.Uint64(p[1:9])}
+	body := p[9:]
+	switch env.Kind {
+	case KindUnite:
+		opts, edges, err := parseBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		env.Unite = &dsu.UniteRequest{Edges: edges, Options: opts}
+	case KindQuery:
+		opts, pairs, err := parseBatch(body)
+		if err != nil {
+			return nil, err
+		}
+		env.Query = &dsu.QueryRequest{Pairs: pairs, Options: opts}
+	case KindFlush:
+		if len(body) != 0 {
+			return nil, fmt.Errorf("%w: flush carries %d stray bytes", ErrCorruptFrame, len(body))
+		}
+	case KindReply:
+		rep, err := parseReply(body)
+		if err != nil {
+			return nil, err
+		}
+		env.Reply = rep
+	case KindError:
+		env.Error = string(body)
+	case KindEnd:
+		if len(body) < binEndLen {
+			return nil, fmt.Errorf("%w: end payload is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binEndLen)
+		}
+		env.End = &StreamEnd{
+			Batches:  binary.BigEndian.Uint64(body[0:8]),
+			Edges:    int64(binary.BigEndian.Uint64(body[8:16])),
+			Merged:   int64(binary.BigEndian.Uint64(body[16:24])),
+			Filtered: int64(binary.BigEndian.Uint64(body[24:32])),
+			Failed:   binary.BigEndian.Uint64(body[32:40]),
+		}
+		env.Error = string(body[binEndLen:])
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, p[0])
+	}
+	return env, nil
+}
+
+// parseBatch decodes the shared unite/query body: options then a
+// length-derived edge list.
+func parseBatch(body []byte) (dsu.BatchOptions, []dsu.Edge, error) {
+	if len(body) < binOptsLen {
+		return dsu.BatchOptions{}, nil, fmt.Errorf("%w: batch body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binOptsLen)
+	}
+	opts := dsu.BatchOptions{
+		Workers:         int(int32(binary.BigEndian.Uint32(body[0:4]))),
+		Grain:           int(int32(binary.BigEndian.Uint32(body[4:8]))),
+		Find:            dsu.FindStrategy(body[8]),
+		Prefilter:       body[9]&1 != 0,
+		ConnectedFilter: body[9]&2 != 0,
+	}
+	raw := body[binOptsLen:]
+	if len(raw)%8 != 0 {
+		return dsu.BatchOptions{}, nil, fmt.Errorf("%w: %d edge bytes are not a multiple of 8", ErrCorruptFrame, len(raw))
+	}
+	var edges []dsu.Edge
+	if len(raw) > 0 {
+		edges = make([]dsu.Edge, len(raw)/8)
+		for i := range edges {
+			edges[i].X = binary.BigEndian.Uint32(raw[i*8:])
+			edges[i].Y = binary.BigEndian.Uint32(raw[i*8+4:])
+		}
+	}
+	return opts, edges, nil
+}
+
+func parseStats(b []byte) core.Stats {
+	at := func(i int) int64 { return int64(binary.BigEndian.Uint64(b[i*8:])) }
+	return core.Stats{
+		Reads: at(0), CASAttempts: at(1), CASFailures: at(2), FindSteps: at(3),
+		Rounds: at(4), Finds: at(5), Links: at(6), Rewrites: at(7), Ops: at(8), Filtered: at(9),
+	}
+}
+
+func parseReply(body []byte) (*dsu.BatchReply, error) {
+	if len(body) < binReplyLen {
+		return nil, fmt.Errorf("%w: reply body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binReplyLen)
+	}
+	rep := &dsu.BatchReply{
+		Merged:   int64(binary.BigEndian.Uint64(body[0:8])),
+		Filtered: int(int64(binary.BigEndian.Uint64(body[8:16]))),
+		Elapsed:  time.Duration(binary.BigEndian.Uint64(body[16:24])),
+		Stats:    parseStats(body[24 : 24+binStatsLen]),
+		Find:     dsu.FindStrategy(body[24+binStatsLen]),
+	}
+	hasAnswers := body[24+binStatsLen+1]
+	rest := body[binReplyLen:]
+	switch hasAnswers {
+	case 0:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: reply without answers carries %d stray bytes", ErrCorruptFrame, len(rest))
+		}
+	case 1:
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: reply answer count truncated", ErrCorruptFrame)
+		}
+		count := int(binary.BigEndian.Uint32(rest[0:4]))
+		bits := rest[4:]
+		if len(bits) != (count+7)/8 {
+			return nil, fmt.Errorf("%w: %d answers need %d bitset bytes, frame has %d", ErrCorruptFrame, count, (count+7)/8, len(bits))
+		}
+		rep.Answers = make([]bool, count)
+		for i := range rep.Answers {
+			rep.Answers[i] = bits[i/8]&(1<<(i%8)) != 0
+		}
+	default:
+		return nil, fmt.Errorf("%w: reply flag byte %d", ErrCorruptFrame, hasAnswers)
+	}
+	return rep, nil
+}

@@ -1,0 +1,314 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/dsu"
+	"repro/internal/core"
+)
+
+// randomEnvelope draws one arbitrary well-formed envelope. Edge lists are
+// nil or non-empty — the one canonicalization both codecs share (a nil
+// edge list and an absent one are indistinguishable on the wire); reply
+// Answers exercise nil, empty, and populated, which must all round-trip
+// exactly in both encodings.
+func randomEnvelope(rng *rand.Rand) *Envelope {
+	edges := func() []dsu.Edge {
+		n := rng.Intn(5)
+		if n == 0 {
+			return nil
+		}
+		out := make([]dsu.Edge, rng.Intn(64)+1)
+		for i := range out {
+			out[i] = dsu.Edge{X: rng.Uint32(), Y: rng.Uint32()}
+		}
+		return out
+	}
+	opts := func() dsu.BatchOptions {
+		return dsu.BatchOptions{
+			Workers:         rng.Intn(65) - 32,
+			Grain:           rng.Intn(5000) - 100,
+			Prefilter:       rng.Intn(2) == 0,
+			ConnectedFilter: rng.Intn(2) == 0,
+			Find:            dsu.FindStrategy(rng.Intn(7)),
+		}
+	}
+	env := &Envelope{Seq: rng.Uint64()}
+	switch rng.Intn(6) {
+	case 0:
+		env.Kind = KindUnite
+		env.Unite = &dsu.UniteRequest{Edges: edges(), Options: opts()}
+	case 1:
+		env.Kind = KindQuery
+		env.Query = &dsu.QueryRequest{Pairs: edges(), Options: opts()}
+	case 2:
+		env.Kind = KindFlush
+	case 3:
+		env.Kind = KindReply
+		rep := &dsu.BatchReply{
+			Merged:   rng.Int63() - rng.Int63(),
+			Filtered: rng.Intn(1000),
+			Find:     dsu.FindStrategy(rng.Intn(6)),
+			Elapsed:  time.Duration(rng.Int63n(1 << 40)),
+			Stats: core.Stats{
+				Reads: rng.Int63n(1 << 30), CASAttempts: rng.Int63n(1 << 30), CASFailures: rng.Int63n(1 << 20),
+				FindSteps: rng.Int63n(1 << 30), Rounds: rng.Int63n(1 << 20), Finds: rng.Int63n(1 << 30),
+				Links: rng.Int63n(1 << 20), Rewrites: rng.Int63n(1 << 20), Ops: rng.Int63n(1 << 30), Filtered: rng.Int63n(1 << 20),
+			},
+		}
+		if rng.Intn(3) != 0 {
+			// Sometimes empty-but-present: a zero-pair query's reply must
+			// round-trip identically in both encodings (nil means "unite
+			// reply, no answers").
+			rep.Answers = make([]bool, rng.Intn(100))
+			for i := range rep.Answers {
+				rep.Answers[i] = rng.Intn(2) == 0
+			}
+		}
+		env.Reply = rep
+	case 4:
+		env.Kind = KindError
+		env.Error = "tenant \"x\" not found — try again\n…"
+	case 5:
+		env.Kind = KindEnd
+		env.End = &StreamEnd{Batches: rng.Uint64() % 1000, Edges: rng.Int63n(1 << 40), Merged: rng.Int63n(1 << 40), Filtered: rng.Int63n(1 << 30), Failed: rng.Uint64() % 10}
+		if rng.Intn(2) == 0 {
+			env.Error = "context canceled" // the close error rides the end frame
+		}
+	}
+	return env
+}
+
+// TestRoundTrip is the codec property test: for both formats, any
+// well-formed envelope survives encode→decode exactly, alone and in
+// back-to-back sequences on one stream.
+func TestRoundTrip(t *testing.T) {
+	for _, f := range []Format{Binary, JSON} {
+		t.Run(f.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var buf bytes.Buffer
+			enc := NewEncoder(&buf, f)
+			var want []*Envelope
+			for i := 0; i < 500; i++ {
+				env := randomEnvelope(rng)
+				if err := enc.Encode(env); err != nil {
+					t.Fatalf("encode %d: %v", i, err)
+				}
+				want = append(want, env)
+			}
+			dec := NewDecoder(&buf, f, 0)
+			for i, w := range want {
+				got, err := dec.Decode()
+				if err != nil {
+					t.Fatalf("decode %d: %v", i, err)
+				}
+				if !reflect.DeepEqual(got, w) {
+					t.Fatalf("round trip %d:\n got %+v\nwant %+v", i, got, w)
+				}
+			}
+			if _, err := dec.Decode(); err != io.EOF {
+				t.Fatalf("trailing Decode = %v, want io.EOF", err)
+			}
+		})
+	}
+}
+
+// TestTruncatedFrames cuts a valid binary stream at every byte boundary:
+// the decoder must report a clean io.EOF only at frame boundaries,
+// io.ErrUnexpectedEOF everywhere else, and never panic or misdecode.
+func TestTruncatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf, Binary)
+	var boundaries []int
+	for i := 0; i < 8; i++ {
+		if err := enc.Encode(randomEnvelope(rng)); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, buf.Len())
+	}
+	full := buf.Bytes()
+	atBoundary := map[int]bool{0: true}
+	for _, b := range boundaries {
+		atBoundary[b] = true
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		dec := NewDecoder(bytes.NewReader(full[:cut]), Binary, 0)
+		var err error
+		for {
+			if _, err = dec.Decode(); err != nil {
+				break
+			}
+		}
+		if atBoundary[cut] {
+			if err != io.EOF {
+				t.Fatalf("cut at boundary %d: err = %v, want io.EOF", cut, err)
+			}
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut mid-frame at %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+// TestOversizedFrames checks both directions of the size limit: a header
+// declaring more than maxFrame is rejected before any allocation, and a
+// JSON line past the limit is rejected as it streams.
+func TestOversizedFrames(t *testing.T) {
+	// Binary: a 4 GiB-declaring header against a 1 KiB limit.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := NewDecoder(bytes.NewReader(huge), Binary, 1024).Decode(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("binary oversize err = %v, want ErrFrameTooLarge", err)
+	}
+	// A frame within the limit but truncated mid-payload.
+	short := []byte{0x00, 0x00, 0x00, 0x20, byte(KindFlush)}
+	if _, err := NewDecoder(bytes.NewReader(short), Binary, 1024).Decode(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("binary truncated err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// JSON: one long line.
+	line := append(bytes.Repeat([]byte("x"), 4096), '\n')
+	if _, err := NewDecoder(bytes.NewReader(line), JSON, 1024).Decode(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("json oversize err = %v, want ErrFrameTooLarge", err)
+	}
+	// An oversized *encode* must refuse rather than emit an unreadable frame.
+	env := &Envelope{Kind: KindUnite, Unite: &dsu.UniteRequest{Edges: make([]dsu.Edge, 100)}}
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf, Binary).Encode(env); err != nil {
+		t.Fatalf("encode within uint32: %v", err)
+	}
+	dec := NewDecoder(&buf, Binary, 64)
+	if _, err := dec.Decode(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("decode with small limit = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestCorruptFrames feeds structurally inconsistent payloads: wrong edge
+// alignment, bitset/count mismatches, unknown kinds, stray bytes.
+func TestCorruptFrames(t *testing.T) {
+	frame := func(payload ...byte) []byte {
+		out := []byte{0, 0, 0, byte(len(payload))}
+		return append(out, payload...)
+	}
+	meta := func(kind Kind) []byte {
+		return append([]byte{byte(kind)}, 0, 0, 0, 0, 0, 0, 0, 0)
+	}
+	cases := map[string][]byte{
+		"unknown kind":      frame(meta(Kind(99))...),
+		"short meta":        frame(byte(KindUnite), 0, 0),
+		"misaligned edges":  frame(append(meta(KindUnite), make([]byte, binOptsLen+3)...)...),
+		"short options":     frame(append(meta(KindQuery), 1, 2, 3)...),
+		"stray flush bytes": frame(append(meta(KindFlush), 1)...),
+		"short reply":       frame(append(meta(KindReply), make([]byte, 10)...)...),
+		"short end":         frame(append(meta(KindEnd), make([]byte, 8)...)...),
+		"bad reply flag": frame(func() []byte {
+			b := append(meta(KindReply), make([]byte, binReplyLen)...)
+			b[len(b)-1] = 7
+			return b
+		}()...),
+		"bitset mismatch": frame(func() []byte {
+			b := append(meta(KindReply), make([]byte, binReplyLen)...)
+			b[len(b)-1] = 1                      // answers present
+			b = append(b, 0, 0, 0, 100)          // 100 answers…
+			return append(b, make([]byte, 2)...) // …but 2 bitset bytes
+		}()...),
+	}
+	for name, raw := range cases {
+		if _, err := NewDecoder(bytes.NewReader(raw), Binary, 0).Decode(); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("%s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+	for name, line := range map[string]string{
+		"not json":           "{{{\n",
+		"unknown kind":       `{"kind":"zorp"}` + "\n",
+		"no kind":            `{"seq":3}` + "\n",
+		"unite without body": `{"kind":"unite","seq":1}` + "\n",
+		"query without body": `{"kind":"query"}` + "\n",
+		"reply without body": `{"kind":"reply"}` + "\n",
+		"end without body":   `{"kind":"end"}` + "\n",
+	} {
+		if _, err := NewDecoder(bytes.NewReader([]byte(line)), JSON, 0).Decode(); !errors.Is(err, ErrCorruptFrame) {
+			t.Errorf("json %s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+}
+
+// TestFormatFor pins the content-type mapping the HTTP layer relies on,
+// media-type parameters included (clients commonly append a charset).
+func TestFormatFor(t *testing.T) {
+	for ct, want := range map[string]Format{
+		"":                                Binary,
+		ContentTypeBinary:                 Binary,
+		ContentTypeJSON:                   JSON,
+		"application/json; charset=utf-8": JSON,
+		"APPLICATION/JSON":                JSON, // media types are case-insensitive
+		ContentTypeBinary + "; version=1": Binary,
+	} {
+		if got, ok := FormatFor(ct); !ok || got != want {
+			t.Errorf("FormatFor(%q) = %v, %v; want %v", ct, got, ok, want)
+		}
+	}
+	if _, ok := FormatFor("text/html"); ok {
+		t.Error("FormatFor(text/html) accepted")
+	}
+}
+
+// FuzzBinaryDecode drives arbitrary bytes through the binary decoder: it
+// must never panic, and whatever it does decode must re-encode and decode
+// back to the same envelope (decode ∘ encode is the identity on the
+// decoder's image).
+func FuzzBinaryDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(3))
+	var seed bytes.Buffer
+	enc := NewEncoder(&seed, Binary)
+	for i := 0; i < 6; i++ {
+		_ = enc.Encode(randomEnvelope(rng))
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), Binary, 1<<20)
+		for {
+			env, err := dec.Decode()
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := NewEncoder(&buf, Binary).Encode(env); err != nil {
+				t.Fatalf("re-encode of decoded envelope failed: %v", err)
+			}
+			again, err := NewDecoder(&buf, Binary, 1<<20).Decode()
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(env, again) {
+				t.Fatalf("decode∘encode not identity:\n got %+v\nwant %+v", again, env)
+			}
+		}
+	})
+}
+
+// FuzzJSONDecode is the same property for the debug mode.
+func FuzzJSONDecode(f *testing.F) {
+	f.Add([]byte(`{"kind":"flush","seq":9}` + "\n"))
+	f.Add([]byte(`{"kind":"unite","unite":{"edges":[{"X":1,"Y":2}]}}` + "\n"))
+	f.Add([]byte("\n\n{\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data), JSON, 1<<20)
+		for {
+			env, err := dec.Decode()
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := NewEncoder(&buf, JSON).Encode(env); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}
