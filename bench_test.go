@@ -437,6 +437,51 @@ func BenchmarkE21AdaptiveFind(b *testing.B) {
 	}
 }
 
+// BenchmarkE23LockFree measures the lock-free backend on the E23 shapes:
+// one uniform batch per kind (flat / sharded / lock-free, identical edges
+// and worker budget), plus the regime only the lock-free kind supports —
+// k genuinely overlapping UniteAll calls on one structure.
+func BenchmarkE23LockFree(b *testing.B) {
+	const n = 1 << 18
+	m := 4 * n
+	edges := engine.FromOps(workload.RandomUnions(n, m, 10))
+	kinds := []struct {
+		name string
+		make func() dsu.Backend
+	}{
+		{"flat", func() dsu.Backend { return dsu.New(n, dsu.WithSeed(11)) }},
+		{"sharded-4", func() dsu.Backend { return dsu.NewSharded(n, 4, dsu.WithSeed(11)) }},
+		{"lockfree", func() dsu.Backend { return dsu.NewLockFree(n, dsu.WithSeed(11)) }},
+	}
+	for _, kind := range kinds {
+		b.Run("batch/"+kind.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kind.make().UniteAll(edges, dsu.WithWorkers(4))
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+		})
+	}
+	for _, k := range []int{2, 4} {
+		b.Run(fmt.Sprintf("overlap/k=%d", k), func(b *testing.B) {
+			chunk := (len(edges) + k - 1) / k
+			for i := 0; i < b.N; i++ {
+				d := dsu.NewLockFree(n, dsu.WithSeed(11))
+				var wg sync.WaitGroup
+				for j := 0; j < k; j++ {
+					lo, hi := j*chunk, min((j+1)*chunk, len(edges))
+					wg.Add(1)
+					go func(lo, hi int) {
+						defer wg.Done()
+						d.UniteAll(edges[lo:hi], dsu.WithWorkers(2))
+					}(lo, hi)
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(m)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mop/s")
+		})
+	}
+}
+
 // BenchmarkFindOnDeepForest micro-benchmarks a single Find per variant on a
 // prebuilt randomized forest.
 func BenchmarkFindOnDeepForest(b *testing.B) {

@@ -8,11 +8,15 @@
 //
 //	dsuserve -addr :8080 \
 //	    -tenant alpha:1000000 \
-//	    -tenant beta:4000000:8:auto
+//	    -tenant beta:4000000:8:auto \
+//	    -tenant gamma:1000000:lockfree
 //
-// The spec is name:n[:shards[:find]] — shards 0 means a flat structure,
-// find names a strategy per dsu.ParseFindStrategy ("auto" turns on the
-// adaptive compaction policy).
+// The spec is name:n[:kind[:find]] — kind is a shard count (0 means a
+// flat structure) or a structure-kind name per dsu.ParseKind ("flat",
+// "sharded", "lockfree"); find names a strategy per dsu.ParseFindStrategy
+// ("auto" turns on the adaptive compaction policy). Lock-free tenants
+// serve their RPCs and stream batches truly concurrently — no per-tenant
+// queueing.
 //
 // On SIGINT/SIGTERM the server shuts down cleanly: open stream
 // connections have their contexts cancelled (clients receive
@@ -44,11 +48,13 @@ type tenantFlags []string
 func (t *tenantFlags) String() string     { return strings.Join(*t, ",") }
 func (t *tenantFlags) Set(v string) error { *t = append(*t, v); return nil }
 
-// parseTenant parses name:n[:shards[:find]].
+// parseTenant parses name:n[:kind[:find]], where kind is a shard count
+// (digits, 0 = flat) or a structure-kind name ("flat", "sharded",
+// "lockfree" — validated by the spec's Options translation).
 func parseTenant(spec string) (server.TenantSpec, error) {
 	parts := strings.Split(spec, ":")
 	if len(parts) < 2 || len(parts) > 4 {
-		return server.TenantSpec{}, fmt.Errorf("tenant spec %q: want name:n[:shards[:find]]", spec)
+		return server.TenantSpec{}, fmt.Errorf("tenant spec %q: want name:n[:kind[:find]]", spec)
 	}
 	out := server.TenantSpec{Name: parts[0]}
 	n, err := strconv.Atoi(parts[1])
@@ -57,8 +63,10 @@ func parseTenant(spec string) (server.TenantSpec, error) {
 	}
 	out.N = n
 	if len(parts) >= 3 && parts[2] != "" {
-		if out.Shards, err = strconv.Atoi(parts[2]); err != nil {
-			return server.TenantSpec{}, fmt.Errorf("tenant spec %q: bad shards: %v", spec, err)
+		if shards, err := strconv.Atoi(parts[2]); err == nil {
+			out.Shards = shards
+		} else {
+			out.Kind = parts[2]
 		}
 	}
 	if len(parts) == 4 {
@@ -78,7 +86,7 @@ func main() {
 		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
 	)
-	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:shards[:find]] (repeatable)")
+	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:kind[:find]] (repeatable)")
 	flag.Parse()
 
 	reg := dsu.NewRegistry()

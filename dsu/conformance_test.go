@@ -1,0 +1,292 @@
+package dsu_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/dsu"
+	"repro/internal/engine"
+	"repro/internal/seqdsu"
+	"repro/internal/workload"
+)
+
+// This file is the shared Backend conformance suite: one table of
+// constructors — flat, sharded, lock-free — driven through the contract
+// every structure kind must honor. Constructor boundaries, batch ≡
+// blocking partitions, oracle cross-validation, filter neutrality, and
+// counted accounting are each written once here; per-kind test files keep
+// only what is genuinely specific to their kind (shard clamping, stream
+// ordering, lock-free linearizability). CI runs the suite under -race.
+
+// backendCase names one structure kind and how to build it.
+type backendCase struct {
+	name string
+	make func(n int, opts ...dsu.Option) dsu.Backend
+	// exactMerge marks kinds whose UniteAll count equals the sequential
+	// pass's exactly (the sharded count is structural and may exceed it).
+	exactMerge bool
+	// splittingOnly marks kinds restricted to the splitting find family.
+	splittingOnly bool
+}
+
+func backendCases() []backendCase {
+	return []backendCase{
+		{"flat", func(n int, opts ...dsu.Option) dsu.Backend { return dsu.New(n, opts...) }, true, false},
+		{"sharded", func(n int, opts ...dsu.Option) dsu.Backend { return dsu.NewSharded(n, 4, opts...) }, false, false},
+		{"lockfree", func(n int, opts ...dsu.Option) dsu.Backend { return dsu.NewLockFree(n, opts...) }, true, true},
+	}
+}
+
+// oracle replays edges through the classical sequential structure.
+func oracle(n int, batches ...[]dsu.Edge) *seqdsu.DSU {
+	ref := seqdsu.New(n, seqdsu.LinkRank, seqdsu.CompactHalving, 1)
+	for _, b := range batches {
+		for _, e := range b {
+			ref.Unite(e.X, e.Y)
+		}
+	}
+	return ref
+}
+
+func checkLabelsMatch(t *testing.T, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("label count %d, want %d", len(got), len(want))
+	}
+	for x := range got {
+		if got[x] != want[x] {
+			t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
+		}
+	}
+}
+
+// TestBackendConformanceOracle is the acceptance cross-validation, run
+// against every structure kind: a multi-batch schedule must leave each
+// backend with exactly the sequential oracle's partition — same canonical
+// labels, set count, batch and point SameSet answers, snapshot roots, and
+// component materialization.
+func TestBackendConformanceOracle(t *testing.T) {
+	const n = 2500
+	for _, bc := range backendCases() {
+		for _, seed := range []uint64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed=%d", bc.name, seed), func(t *testing.T) {
+				d := bc.make(n, dsu.WithSeed(seed))
+				batches := [][]dsu.Edge{
+					engine.FromOps(workload.CommunityUnions(n, 2*n, 8, 0.9, seed+100)),
+					engine.FromOps(workload.RandomUnions(n, n, seed+200)),
+					engine.FromOps(workload.ZipfMixed(n, n, 1.0, 1.1, seed+300)),
+				}
+				for _, b := range batches {
+					d.UniteAll(b, dsu.WithWorkers(4), dsu.WithGrain(64))
+				}
+				ref := oracle(n, batches...)
+
+				queries := engine.FromOps(workload.RandomUnions(n, 4*n, seed+400))
+				ans := d.SameSetAll(queries, dsu.WithWorkers(4))
+				for i, q := range queries {
+					want := ref.SameSet(q.X, q.Y)
+					if ans[i] != want {
+						t.Fatalf("batch query %d (%d,%d) = %v, oracle %v", i, q.X, q.Y, ans[i], want)
+					}
+					if got := d.SameSet(q.X, q.Y); got != want {
+						t.Fatalf("point SameSet(%d,%d) = %v, oracle %v", q.X, q.Y, got, want)
+					}
+				}
+
+				want := ref.CanonicalLabels()
+				checkLabelsMatch(t, d.CanonicalLabels(), want)
+				if got, wantSets := d.Sets(), ref.Sets(); got != wantSets {
+					t.Fatalf("Sets() = %d, oracle %d", got, wantSets)
+				}
+
+				// Snapshot names the same partition: entries are roots, and
+				// two elements share an entry iff they share a label.
+				snap := d.Snapshot()
+				for x := range snap {
+					if snap[snap[x]] != snap[x] {
+						t.Fatalf("snapshot entry %d → %d is not a root", x, snap[x])
+					}
+					if x > 0 && (snap[x] == snap[x-1]) != (want[x] == want[x-1]) {
+						t.Fatalf("snapshot and labels disagree on (%d,%d)", x-1, x)
+					}
+				}
+
+				// Components bucket the labelling exactly.
+				total := 0
+				for _, comp := range d.Components() {
+					total += len(comp)
+					for _, x := range comp {
+						if want[x] != want[comp[0]] {
+							t.Fatalf("component mixing labels: %d with %d", x, comp[0])
+						}
+					}
+				}
+				if total != n {
+					t.Fatalf("components cover %d elements, want %d", total, n)
+				}
+			})
+		}
+	}
+}
+
+// TestBackendBatchEqualsBlocking pins batch ≡ blocking: a UniteAll over a
+// batch leaves exactly the partition of a point-op loop over the same
+// edges, for every kind, and the exact-merge kinds report exactly the
+// loop's merge count.
+func TestBackendBatchEqualsBlocking(t *testing.T) {
+	const n = 1500
+	edges := engine.FromOps(workload.CommunityUnions(n, 3*n, 6, 0.8, 17))
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			batch := bc.make(n, dsu.WithSeed(5))
+			merged := batch.UniteAll(edges, dsu.WithWorkers(4))
+
+			point := bc.make(n, dsu.WithSeed(5))
+			pointMerged := 0
+			for _, e := range edges {
+				if point.Unite(e.X, e.Y) {
+					pointMerged++
+				}
+			}
+			checkLabelsMatch(t, batch.CanonicalLabels(), point.CanonicalLabels())
+			if bc.exactMerge && merged != pointMerged {
+				t.Fatalf("batch merged %d, blocking loop %d", merged, pointMerged)
+			}
+			if batch.Sets() != point.Sets() {
+				t.Fatalf("batch Sets %d, blocking %d", batch.Sets(), point.Sets())
+			}
+		})
+	}
+}
+
+// TestBackendFindVariantConformance sweeps every find strategy each kind
+// defines — the splitting family everywhere, halving and compression on
+// the core-backed kinds, and the adaptive policy on all — checking the
+// partition is variant-independent.
+func TestBackendFindVariantConformance(t *testing.T) {
+	const n = 800
+	edges := engine.FromOps(workload.CommunityUnions(n, 2*n, 4, 0.8, 31))
+	want := oracle(n, edges).CanonicalLabels()
+	for _, bc := range backendCases() {
+		strategies := []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting, dsu.FindAuto}
+		if !bc.splittingOnly {
+			strategies = append(strategies, dsu.Halving, dsu.Compression)
+		}
+		for _, f := range strategies {
+			t.Run(fmt.Sprintf("%s/%v", bc.name, f), func(t *testing.T) {
+				d := bc.make(n, dsu.WithFind(f), dsu.WithSeed(33))
+				d.UniteAll(edges, dsu.WithWorkers(3))
+				checkLabelsMatch(t, d.CanonicalLabels(), want)
+			})
+		}
+	}
+}
+
+// TestBackendPrefilterConformance checks the filter options leave the
+// partition and merge count untouched on every kind's batch path.
+func TestBackendPrefilterConformance(t *testing.T) {
+	const n = 1000
+	edges := engine.FromOps(workload.ZipfMixed(n, 4*n, 1.0, 1.2, 43))
+	if kept := dsu.Prefilter(edges); len(kept) >= len(edges) {
+		t.Fatalf("Zipf batch should shrink under Prefilter: %d -> %d", len(edges), len(kept))
+	}
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			raw, filtered := bc.make(n), bc.make(n)
+			a := raw.UniteAll(edges)
+			b := filtered.UniteAll(edges, dsu.WithPrefilter(), dsu.WithConnectedFilter())
+			if a != b {
+				t.Errorf("merged %d raw vs %d filtered", a, b)
+			}
+			checkLabelsMatch(t, filtered.CanonicalLabels(), raw.CanonicalLabels())
+		})
+	}
+}
+
+// TestBackendCountedConformance checks the counted batch variants account
+// work on every kind: a mutation batch reports operations and nonzero
+// work, and a query batch reports exactly one operation per pair.
+func TestBackendCountedConformance(t *testing.T) {
+	const n = 1500
+	edges := engine.FromOps(workload.CommunityUnions(n, 2*n, 5, 0.7, 47))
+	for _, bc := range backendCases() {
+		t.Run(bc.name, func(t *testing.T) {
+			d := bc.make(n)
+			var st dsu.Stats
+			d.UniteAllCounted(edges, &st, dsu.WithWorkers(3))
+			if st.Ops == 0 || st.Work() <= 0 {
+				t.Errorf("counted mutation batch reported no work: %+v", st)
+			}
+			before := st.Ops
+			d.SameSetAllCounted(edges, &st, dsu.WithWorkers(3))
+			if st.Ops-before != int64(len(edges)) {
+				t.Errorf("SameSetAllCounted ops = %d, want %d", st.Ops-before, len(edges))
+			}
+		})
+	}
+}
+
+// TestBackendConstructorContract pins every constructor's documented
+// boundaries in one table: the shared rejections (out-of-range n, unknown
+// strategies, undefined option combinations) plus each kind's own, and
+// the combinations that must construct.
+func TestBackendConstructorContract(t *testing.T) {
+	panics := []struct {
+		name string
+		fn   func()
+	}{
+		{"flat/negative n", func() { dsu.New(-1) }},
+		{"flat/n over 2^31-1", func() { dsu.New(1 << 31) }},
+		{"flat/unknown find strategy", func() { dsu.New(4, dsu.WithFind(dsu.FindStrategy(99))) }},
+		{"flat/early termination + halving", func() { dsu.New(4, dsu.WithFind(dsu.Halving), dsu.WithEarlyTermination()) }},
+		{"flat/early termination + compression", func() { dsu.New(4, dsu.WithFind(dsu.Compression), dsu.WithEarlyTermination()) }},
+		{"dynamic/negative capacity", func() { dsu.NewDynamic(-1) }},
+		{"sharded/zero shards", func() { dsu.NewSharded(100, 0) }},
+		{"sharded/negative shards", func() { dsu.NewSharded(100, -4) }},
+		{"sharded/negative n", func() { dsu.NewSharded(-1, 2) }},
+		{"sharded/early termination + halving", func() {
+			dsu.NewSharded(16, 2, dsu.WithFind(dsu.Halving), dsu.WithEarlyTermination())
+		}},
+		{"lockfree/negative n", func() { dsu.NewLockFree(-1) }},
+		{"lockfree/n over 2^31-1", func() { dsu.NewLockFree(1 << 31) }},
+		{"lockfree/early termination", func() { dsu.NewLockFree(4, dsu.WithEarlyTermination()) }},
+		{"lockfree/halving", func() { dsu.NewLockFree(4, dsu.WithFind(dsu.Halving)) }},
+		{"lockfree/compression", func() { dsu.NewLockFree(4, dsu.WithFind(dsu.Compression)) }},
+		{"lockfree/unknown find strategy", func() { dsu.NewLockFree(4, dsu.WithFind(dsu.FindStrategy(99))) }},
+	}
+	for _, c := range panics {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			c.fn()
+		})
+	}
+
+	// Accepted combinations, per kind: every strategy the kind defines,
+	// early termination where Section 6 defines it, and the empty universe.
+	for _, f := range []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting, dsu.Halving, dsu.Compression} {
+		if d := dsu.New(4, dsu.WithFind(f)); d.N() != 4 {
+			t.Errorf("flat %v: N = %d, want 4", f, d.N())
+		}
+	}
+	for _, f := range []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting} {
+		d := dsu.New(4, dsu.WithFind(f), dsu.WithEarlyTermination())
+		d.Unite(0, 1)
+		if !d.SameSet(0, 1) {
+			t.Errorf("flat %v+early: SameSet(0,1) = false after Unite", f)
+		}
+		l := dsu.NewLockFree(4, dsu.WithFind(f))
+		l.Unite(0, 1)
+		if !l.SameSet(0, 1) {
+			t.Errorf("lockfree %v: SameSet(0,1) = false after Unite", f)
+		}
+	}
+	for _, bc := range backendCases() {
+		if e := bc.make(0); e.N() != 0 || e.Sets() != 0 {
+			t.Errorf("%s: empty universe should construct", bc.name)
+		}
+	}
+}

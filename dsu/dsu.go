@@ -27,10 +27,19 @@
 // (lock-free; see the paper's Section 3 remark). For universes past one
 // parent array's cache footprint, NewSharded partitions the elements
 // across per-shard engines with cross-shard reconciliation (see Sharded).
-// For edges that arrive over time, NewStream wraps either structure in an
-// asynchronous ingestion front: pushes accumulate into double-buffered
-// batches executed in the background, with backpressure and per-batch
-// completion callbacks (see Stream).
+// For genuinely concurrent mutation — goroutines issuing point operations
+// and batches with no coordination, the paper's own regime — NewLockFree
+// runs the algorithm as a lock-free serving structure whose operations
+// may overlap arbitrarily (see LockFree and ConcurrentBackend). For edges
+// that arrive over time, NewStream wraps any structure in an asynchronous
+// ingestion front: pushes accumulate into double-buffered batches executed
+// in the background, with backpressure and per-batch completion callbacks
+// (see Stream; over a ConcurrentBackend, WithConcurrentBatches overlaps
+// the sealed batches themselves).
+//
+// All structure kinds implement the common Backend interface and can be
+// created by name through Registry/Universe with WithKind (flat, sharded,
+// lockfree) — the tenant vocabulary the network front end serves.
 package dsu
 
 import (

@@ -5,6 +5,38 @@ type config struct {
 	early  bool
 	seed   uint64
 	shards int
+	kind   Kind
+}
+
+// Kind names a structure kind — which of the package's three backends a
+// Registry.Create (or a remote tenant-create request) selects. The zero
+// value means "unset": shard-count resolution applies (a positive
+// WithShards selects KindSharded, otherwise KindFlat).
+type Kind int
+
+const (
+	// KindFlat is the single parent-array structure (New).
+	KindFlat Kind = iota + 1
+	// KindSharded is the two-level partitioned structure (NewSharded).
+	KindSharded
+	// KindLockFree is the lock-free concurrent structure (NewLockFree):
+	// the whole operation surface, batches included, is safe under full
+	// concurrency with no quiescence requirement.
+	KindLockFree
+)
+
+// String returns the kind name used in tenant info and experiment tables.
+func (k Kind) String() string {
+	switch k {
+	case KindFlat:
+		return "flat"
+	case KindSharded:
+		return "sharded"
+	case KindLockFree:
+		return "lockfree"
+	default:
+		return "unset"
+	}
 }
 
 func defaultConfig() config {
@@ -56,7 +88,18 @@ func WithSeed(seed uint64) Option {
 
 // WithShards routes a shard count through the option list: a positive value
 // overrides NewSharded's positional count, so plumbing that carries one
-// []Option can select the partition too. New and NewDynamic ignore it.
+// []Option can select the partition too. New, NewDynamic, and NewLockFree
+// ignore it.
 func WithShards(shards int) Option {
 	return optionFunc(func(c *config) { c.shards = shards })
+}
+
+// WithKind selects the structure kind for plumbing that carries one
+// []Option — Registry.Create and the network front end's tenant-create
+// path. An explicit kind wins over shard-count resolution; KindSharded
+// without a shard count uses one shard per available CPU. The direct
+// constructors (New, NewSharded, NewLockFree) each build their own kind
+// and ignore it.
+func WithKind(k Kind) Option {
+	return optionFunc(func(c *config) { c.kind = k })
 }

@@ -151,9 +151,12 @@ func (d *Sharded) Components() [][]uint32 { return componentsFromLabels(d.s.Cano
 // global representative, so every tree has depth at most one and roots
 // satisfy parent[x] == x, the flat structure's root convention. The
 // two-level structure has no single parent array to copy — local forests
-// and the bridge interleave, and stitching them into one pointer array can
-// cycle through dethroned roots — so the flattened view is the honest
-// single-array picture of the partition. Call at quiescence.
+// and the bridge interleave, and stitching them into one pointer array
+// could cycle through dethroned roots — so the flattened view is the
+// honest single-array picture of the partition. Call at quiescence for an
+// exact picture; mid-mutation the entries may mix epochs but the call
+// always terminates (every internal root chase runs under a hard hop
+// bound).
 func (d *Sharded) Snapshot() []uint32 { return d.s.Snapshot() }
 
 // ID returns x's position in the bridge level's random linking order,

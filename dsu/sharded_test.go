@@ -9,82 +9,17 @@ import (
 	"repro/internal/workload"
 )
 
-// TestShardedMatchesFlat is the acceptance cross-validation: for seeds ×
-// shard counts {1, 2, 3, 8}, dsu.Sharded fed the same multi-batch schedule
-// as a flat dsu.DSU must produce the identical partition — the same SameSet
-// answer on every queried pair and the same canonical labels. CI runs this
-// under -race.
-func TestShardedMatchesFlat(t *testing.T) {
-	const n = 2500
-	for _, seed := range []uint64{1, 7, 42} {
-		for _, shards := range []int{1, 2, 3, 8} {
-			t.Run(fmt.Sprintf("seed=%d/shards=%d", seed, shards), func(t *testing.T) {
-				flat := dsu.New(n, dsu.WithSeed(seed))
-				sh := dsu.NewSharded(n, shards, dsu.WithSeed(seed))
-				batches := [][]dsu.Edge{
-					engine.FromOps(workload.CommunityUnions(n, 2*n, 8, 0.9, seed+100)),
-					engine.FromOps(workload.RandomUnions(n, n, seed+200)),
-					engine.FromOps(workload.ZipfMixed(n, n, 1.0, 1.1, seed+300)),
-				}
-				for _, b := range batches {
-					flat.UniteAll(b, dsu.WithWorkers(4), dsu.WithGrain(64))
-					sh.UniteAll(b, dsu.WithWorkers(4), dsu.WithGrain(64))
-				}
+// The generic Backend contract — oracle cross-validation, batch ≡
+// blocking, find-variant sweeps, filter neutrality, counted accounting,
+// constructor panics — lives in the shared conformance suite
+// (conformance_test.go), which runs against the sharded kind too. This
+// file keeps what is genuinely sharded-specific: clamping, the WithShards
+// override, and option boundaries across the kinds' batch paths.
 
-				queries := engine.FromOps(workload.RandomUnions(n, 4*n, seed+400))
-				flatAns := flat.SameSetAll(queries, dsu.WithWorkers(4))
-				shAns := sh.SameSetAll(queries, dsu.WithWorkers(4))
-				for i := range queries {
-					if flatAns[i] != shAns[i] {
-						t.Fatalf("query %d (%d,%d): sharded %v, flat %v",
-							i, queries[i].X, queries[i].Y, shAns[i], flatAns[i])
-					}
-					if got := sh.SameSet(queries[i].X, queries[i].Y); got != flatAns[i] {
-						t.Fatalf("point SameSet(%d,%d) = %v, flat %v",
-							queries[i].X, queries[i].Y, got, flatAns[i])
-					}
-				}
-
-				want := flat.CanonicalLabels()
-				got := sh.CanonicalLabels()
-				for x := range got {
-					if got[x] != want[x] {
-						t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
-					}
-				}
-				if sh.Sets() != flat.Sets() {
-					t.Fatalf("Sets() = %d, flat %d", sh.Sets(), flat.Sets())
-				}
-			})
-		}
-	}
-}
-
-// TestShardedConstructorContract pins NewSharded's documented boundaries:
-// shard counts below one panic, counts above n clamp, WithShards overrides
-// the positional count, and the usual New panics carry over.
-func TestShardedConstructorContract(t *testing.T) {
-	for _, c := range []struct {
-		name string
-		fn   func()
-	}{
-		{"zero shards", func() { dsu.NewSharded(100, 0) }},
-		{"negative shards", func() { dsu.NewSharded(100, -4) }},
-		{"negative n", func() { dsu.NewSharded(-1, 2) }},
-		{"early termination + halving", func() {
-			dsu.NewSharded(16, 2, dsu.WithFind(dsu.Halving), dsu.WithEarlyTermination())
-		}},
-	} {
-		t.Run(c.name, func(t *testing.T) {
-			defer func() {
-				if recover() == nil {
-					t.Error("no panic")
-				}
-			}()
-			c.fn()
-		})
-	}
-
+// TestShardedClampAndOverride pins NewSharded's sharded-specific
+// boundaries: counts above n clamp so every shard holds an element,
+// WithShards overrides the positional count, and WithShards(0) does not.
+func TestShardedClampAndOverride(t *testing.T) {
 	// shards > n clamps so every shard holds at least one element, and the
 	// structure stays fully operational.
 	d := dsu.NewSharded(5, 64)
@@ -105,120 +40,38 @@ func TestShardedConstructorContract(t *testing.T) {
 	if got := dsu.NewSharded(100, 2, dsu.WithShards(0)).Shards(); got != 2 {
 		t.Errorf("WithShards(0) must not override: Shards() = %d, want 2", got)
 	}
-
-	// Empty universe constructs, as the flat structure does.
-	if e := dsu.NewSharded(0, 4); e.N() != 0 || e.Sets() != 0 {
-		t.Error("empty sharded universe should construct")
-	}
-}
-
-// TestShardedVariantOptions checks the find-strategy options plumb through
-// to the shard and bridge levels: every supported variant produces the flat
-// partition.
-func TestShardedVariantOptions(t *testing.T) {
-	const n = 800
-	edges := engine.FromOps(workload.CommunityUnions(n, 2*n, 4, 0.8, 31))
-	flat := dsu.New(n)
-	flat.UniteAll(edges)
-	want := flat.CanonicalLabels()
-	for _, f := range []dsu.FindStrategy{dsu.NoCompaction, dsu.OneTrySplitting, dsu.TwoTrySplitting, dsu.Halving, dsu.Compression} {
-		d := dsu.NewSharded(n, 4, dsu.WithFind(f), dsu.WithSeed(33))
-		d.UniteAll(edges, dsu.WithWorkers(3))
-		got := d.CanonicalLabels()
-		for x := range got {
-			if got[x] != want[x] {
-				t.Fatalf("%v: label[%d] = %d, want %d", f, x, got[x], want[x])
-			}
-		}
-	}
 }
 
 // TestBatchOptionBoundaries sweeps WithWorkers and WithGrain through their
-// documented degenerate values — zero, negative, larger than the batch — on
-// both the flat and sharded batch paths, checking the partition is immune.
+// documented degenerate values — zero, negative, larger than the batch —
+// on every kind's batch path, checking the partition is immune.
 func TestBatchOptionBoundaries(t *testing.T) {
 	const n = 1200
 	edges := engine.FromOps(workload.RandomUnions(n, 2*n, 41))
 	flat := dsu.New(n)
 	flat.UniteAll(edges)
 	want := flat.CanonicalLabels()
-	check := func(t *testing.T, got []uint32) {
-		t.Helper()
-		for x := range got {
-			if got[x] != want[x] {
-				t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
-			}
-		}
-	}
 
-	for _, workers := range []int{0, -1, 1, len(edges) + 7} {
-		for _, grain := range []int{0, -5, 1, len(edges) * 3} {
-			name := fmt.Sprintf("workers=%d/grain=%d", workers, grain)
-			t.Run("flat/"+name, func(t *testing.T) {
-				d := dsu.New(n)
-				d.UniteAll(edges, dsu.WithWorkers(workers), dsu.WithGrain(grain))
-				check(t, d.CanonicalLabels())
-			})
-			t.Run("sharded/"+name, func(t *testing.T) {
-				d := dsu.NewSharded(n, 3)
-				d.UniteAll(edges, dsu.WithWorkers(workers), dsu.WithGrain(grain))
-				check(t, d.CanonicalLabels())
-			})
+	for _, bc := range backendCases() {
+		for _, workers := range []int{0, -1, 1, len(edges) + 7} {
+			for _, grain := range []int{0, -5, 1, len(edges) * 3} {
+				t.Run(fmt.Sprintf("%s/workers=%d/grain=%d", bc.name, workers, grain), func(t *testing.T) {
+					d := bc.make(n)
+					d.UniteAll(edges, dsu.WithWorkers(workers), dsu.WithGrain(grain))
+					checkLabelsMatch(t, d.CanonicalLabels(), want)
+				})
+			}
 		}
 	}
 
 	// Queries under the same degenerate options.
-	d := dsu.NewSharded(n, 3)
-	d.UniteAll(edges)
-	for i, ans := range d.SameSetAll(edges, dsu.WithWorkers(-2), dsu.WithGrain(0)) {
-		if !ans {
-			t.Fatalf("united pair %d answered false", i)
-		}
-	}
-}
-
-// TestPrefilterOption checks WithPrefilter leaves the partition and merge
-// count untouched on both batch paths, and dsu.Prefilter's shrink on a
-// duplicate-heavy batch.
-func TestPrefilterOption(t *testing.T) {
-	const n = 1000
-	edges := engine.FromOps(workload.ZipfMixed(n, 4*n, 1.0, 1.2, 43))
-	if kept := dsu.Prefilter(edges); len(kept) >= len(edges) {
-		t.Fatalf("Zipf batch should shrink under Prefilter: %d -> %d", len(edges), len(kept))
-	}
-
-	flatRaw, flatFiltered := dsu.New(n), dsu.New(n)
-	if a, b := flatRaw.UniteAll(edges), flatFiltered.UniteAll(edges, dsu.WithPrefilter()); a != b {
-		t.Errorf("flat merged %d raw vs %d prefiltered", a, b)
-	}
-	shRaw, shFiltered := dsu.NewSharded(n, 4), dsu.NewSharded(n, 4)
-	if a, b := shRaw.UniteAll(edges), shFiltered.UniteAll(edges, dsu.WithPrefilter()); a != b {
-		t.Errorf("sharded merged %d raw vs %d prefiltered", a, b)
-	}
-	want := flatRaw.CanonicalLabels()
-	for _, got := range [][]uint32{flatFiltered.CanonicalLabels(), shRaw.CanonicalLabels(), shFiltered.CanonicalLabels()} {
-		for x := range got {
-			if got[x] != want[x] {
-				t.Fatalf("label[%d] = %d, want %d", x, got[x], want[x])
+	for _, bc := range backendCases() {
+		d := bc.make(n)
+		d.UniteAll(edges)
+		for i, ans := range d.SameSetAll(edges, dsu.WithWorkers(-2), dsu.WithGrain(0)) {
+			if !ans {
+				t.Fatalf("%s: united pair %d answered false", bc.name, i)
 			}
 		}
-	}
-}
-
-// TestShardedCounted checks the counted batch variants account for every
-// routed edge across all phases.
-func TestShardedCounted(t *testing.T) {
-	const n = 1500
-	edges := engine.FromOps(workload.CommunityUnions(n, 2*n, 5, 0.7, 47))
-	d := dsu.NewSharded(n, 5)
-	var st dsu.Stats
-	d.UniteAllCounted(edges, &st, dsu.WithWorkers(3))
-	if st.Ops == 0 || st.Work() <= 0 {
-		t.Errorf("counted sharded batch reported no work: %+v", st)
-	}
-	before := st.Ops
-	d.SameSetAllCounted(edges, &st, dsu.WithWorkers(3))
-	if st.Ops-before != int64(len(edges)) {
-		t.Errorf("SameSetAllCounted ops = %d, want %d", st.Ops-before, len(edges))
 	}
 }

@@ -19,11 +19,12 @@ var ErrStreamClosed = pipeline.ErrClosed
 
 // streamConfig resolves the StreamOption list.
 type streamConfig struct {
-	buffer   int
-	inflight int
-	ctx      context.Context
-	onBatch  func(BatchResult)
-	defaults []BatchOption
+	buffer     int
+	inflight   int
+	concurrent bool
+	ctx        context.Context
+	onBatch    func(BatchResult)
+	defaults   []BatchOption
 }
 
 // StreamOption configures NewStream.
@@ -50,6 +51,22 @@ func WithBufferSize(n int) StreamOption {
 // the dispatcher catches up — the stream's backpressure contract.
 func WithMaxInFlight(n int) StreamOption {
 	return streamOptionFunc(func(c *streamConfig) { c.inflight = n })
+}
+
+// WithConcurrentBatches lets the stream execute up to MaxInFlight sealed
+// batches simultaneously instead of strictly in seal order — the
+// streaming face of the concurrent capability. It is honored only when
+// the stream's structure is a ConcurrentBackend (batch calls safe to
+// overlap, per that contract); on a plain Backend the option is ignored
+// and the stream keeps its single in-order dispatcher, so callers can set
+// it unconditionally. Under concurrent dispatch the final partition is
+// unchanged (unite batches are order-independent) and OnBatch callbacks
+// stay serialized and exactly-once, but they arrive in completion order —
+// BatchResult.ID still carries the seal sequence. Pair it with
+// WithMaxInFlight(k) for k-way overlap; the default in-flight bound of 1
+// makes the option a no-op.
+func WithConcurrentBatches() StreamOption {
+	return streamOptionFunc(func(c *streamConfig) { c.concurrent = true })
 }
 
 // WithStreamContext attaches a cancellation context: once ctx is
@@ -86,7 +103,10 @@ func WithBatchOptions(opts ...BatchOption) StreamOption {
 // caller streams edges instead of blocking per batch. Batches execute
 // strictly in seal order on one dispatcher, which is why a stream
 // produces exactly the partition of a blocking UniteAll loop over the
-// same edge sequence — on either backend, for any buffer size.
+// same edge sequence — on either backend, for any buffer size. Over a
+// ConcurrentBackend, WithConcurrentBatches trades the ordering for
+// overlap: up to MaxInFlight batches execute simultaneously, with the
+// same final partition.
 //
 // Push, Flush, and Close are safe for concurrent producers. Concurrent
 // queries against the backend (SameSet, Find) follow the backend's own
@@ -141,9 +161,11 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 		}
 		return pipeline.Result{Result: x.UniteAll(edges, batchConfig(x.Seed(), bopts))}
 	}
+	_, concurrentOK := u.b.(ConcurrentBackend)
 	s.p = pipeline.New(run, pipeline.Config{
 		BufferSize:  cfg.buffer,
 		MaxInFlight: cfg.inflight,
+		Concurrent:  cfg.concurrent && concurrentOK,
 		Context:     cfg.ctx,
 		Callback: func(r pipeline.Result) {
 			s.batches.Add(1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -46,12 +47,27 @@ func (u *Universe) Name() string { return u.name }
 func (u *Universe) Backend() Backend { return u.b }
 
 // Kind reports the structure kind: "flat" for *DSU, "sharded" for
-// *Sharded.
+// *Sharded, "lockfree" for *LockFree.
 func (u *Universe) Kind() string {
-	if _, ok := u.b.(*Sharded); ok {
-		return "sharded"
+	switch u.b.(type) {
+	case *Sharded:
+		return KindSharded.String()
+	case *LockFree:
+		return KindLockFree.String()
+	default:
+		return KindFlat.String()
 	}
-	return "flat"
+}
+
+// Concurrent reports whether the universe's structure is a
+// ConcurrentBackend — its whole operation surface, batches included, safe
+// under full concurrency with no quiescence requirement. Layers that
+// queue requests to protect a plain backend (the server's per-tenant
+// in-flight budget, the stream dispatcher) consult this to let a tenant's
+// requests run truly concurrently instead.
+func (u *Universe) Concurrent() bool {
+	_, ok := u.b.(ConcurrentBackend)
+	return ok
 }
 
 // Shards returns the shard count of a sharded universe, 0 for a flat one.
@@ -238,6 +254,9 @@ func (u *Universe) resolve(o BatchOptions) (exec.Config, error) {
 	case NoCompaction, OneTrySplitting, TwoTrySplitting:
 		cfg.Find = coreFind(o.Find)
 	case Halving, Compression:
+		if _, ok := u.b.(*LockFree); ok {
+			return cfg, fmt.Errorf("dsu: find override %v is undefined on the lock-free backend (splitting family only)", o.Find)
+		}
 		if x.Backend().CoreConfig().EarlyTermination {
 			return cfg, fmt.Errorf("dsu: find override %v is undefined on a structure built with early termination", o.Find)
 		}
@@ -345,6 +364,26 @@ func ParseFindStrategy(s string) (FindStrategy, error) {
 	}
 }
 
+// ParseKind maps a wire- or flag-friendly name to its structure Kind,
+// case-insensitively: "flat", "sharded" (or "shard"), and "lockfree" (or
+// "lock-free", "concurrent"). The empty string and "default" return 0 —
+// unset, letting shard-count resolution choose. Each kind's String()
+// round-trips.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "default":
+		return 0, nil
+	case "flat":
+		return KindFlat, nil
+	case "sharded", "shard":
+		return KindSharded, nil
+	case "lockfree", "lock-free", "concurrent":
+		return KindLockFree, nil
+	default:
+		return 0, fmt.Errorf("dsu: unknown structure kind %q", s)
+	}
+}
+
 // Registry is the tenant directory: it creates and looks up named
 // universes, each wrapping its own independent structure. All methods are
 // safe for concurrent use. Tenant isolation is structural — universes
@@ -359,16 +398,20 @@ type Registry struct {
 func NewRegistry() *Registry { return &Registry{m: make(map[string]*Universe)} }
 
 // Create builds a new universe under name and registers it. The structure
-// kind is chosen by the option vocabulary: a positive WithShards selects a
-// sharded structure, otherwise flat; WithFind/WithAdaptiveFind,
-// WithEarlyTermination, and WithSeed apply as in New and NewSharded. It
-// returns an error — never panics — on a taken name, an out-of-range n, or
-// an inconsistent option set, so remote tenant creation cannot crash a
-// server. The structure is allocated under the registry lock, which keeps
-// the check-then-insert atomic but blocks lookups of other tenants for
-// the allocation's duration — for a very large n that is not brief, so
-// callers exposed to untrusted sizes should cap n (the network front
-// end's MaxN does).
+// kind is chosen by the option vocabulary: an explicit WithKind wins;
+// otherwise a positive WithShards selects a sharded structure, and flat
+// is the default. KindSharded without a shard count uses one shard per
+// available CPU; KindLockFree rejects WithShards (the lock-free structure
+// is one array), WithEarlyTermination, and the Halving/Compression find
+// strategies (the concurrent algorithm defines the splitting family
+// only). WithFind/WithAdaptiveFind and WithSeed apply as in the
+// constructors. It returns an error — never panics — on a taken name, an
+// out-of-range n, or an inconsistent option set, so remote tenant
+// creation cannot crash a server. The structure is allocated under the
+// registry lock, which keeps the check-then-insert atomic but blocks
+// lookups of other tenants for the allocation's duration — for a very
+// large n that is not brief, so callers exposed to untrusted sizes should
+// cap n (the network front end's MaxN does).
 func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error) {
 	if name == "" {
 		return nil, errors.New("dsu: universe name must be non-empty")
@@ -388,15 +431,45 @@ func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error)
 	if cfg.early && (cfg.find == Halving || cfg.find == Compression) {
 		return nil, fmt.Errorf("dsu: early termination is undefined with %v", cfg.find)
 	}
+	kind := cfg.kind
+	if kind == 0 {
+		if cfg.shards > 0 {
+			kind = KindSharded
+		} else {
+			kind = KindFlat
+		}
+	}
+	switch kind {
+	case KindFlat, KindSharded:
+	case KindLockFree:
+		if cfg.shards > 0 {
+			return nil, errors.New("dsu: the lock-free kind does not shard (one atomic parent array)")
+		}
+		if cfg.early {
+			return nil, errors.New("dsu: early termination is not supported by the lock-free backend")
+		}
+		if cfg.find == Halving || cfg.find == Compression {
+			return nil, fmt.Errorf("dsu: find strategy %v is undefined on the lock-free backend (splitting family only)", cfg.find)
+		}
+	default:
+		return nil, fmt.Errorf("dsu: unknown structure kind %d", int(kind))
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.m[name]; ok {
 		return nil, fmt.Errorf("dsu: universe %q already exists", name)
 	}
 	var b Backend
-	if cfg.shards > 0 {
-		b = NewSharded(n, cfg.shards, opts...)
-	} else {
+	switch kind {
+	case KindSharded:
+		shards := cfg.shards
+		if shards <= 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		b = NewSharded(n, shards, opts...)
+	case KindLockFree:
+		b = NewLockFree(n, opts...)
+	default:
 		b = New(n, opts...)
 	}
 	u := &Universe{name: name, b: b}

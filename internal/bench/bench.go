@@ -1,9 +1,9 @@
 // Package bench is the experiment harness: one runner per experiment in
-// DESIGN.md's per-experiment index (E1–E21), each regenerating the
+// DESIGN.md's per-experiment index (E1–E21, E23), each regenerating the
 // table/check that validates one of the paper's theorems or constructions
 // (E18 measures the batch engine, E19 the sharded subsystem, E20 the
-// streaming ingestion front, and E21 the adaptive compaction policy — the
-// repo's systems extensions).
+// streaming ingestion front, E21 the adaptive compaction policy, and E23
+// the lock-free concurrent backend — the repo's systems extensions).
 // The harness is shared by cmd/dsubench (which writes the tables behind
 // EXPERIMENTS.md) and the root-level Go benchmarks.
 //
@@ -102,11 +102,14 @@ func All() []Experiment {
 		{"E19", "Sharded DSU vs flat engine", "systems extension; ROADMAP sharding item, Fedorov et al. 2023", runE19},
 		{"E20", "Stream vs blocking-batch ingestion", "systems extension; ROADMAP async-pipelines item, Alistarh et al. 2019", runE20},
 		{"E21", "Adaptive vs fixed find variants across mutate/query phases", "systems extension; ROADMAP batch-aware compaction item, Alistarh et al. 2019", runE21},
+		// E22 is reserved for the wire-throughput measurement (ROADMAP,
+		// "Production front-end hardening + E22 measurement").
+		{"E23", "Lock-free backend vs flat and sharded", "Jayanti–Tarjan Section 3; systems extension, ROADMAP lock-free item", runE23},
 	}
 }
 
 // aliases maps friendly experiment names to IDs, for the CLI.
-var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21"}
+var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "lockfree": "E23"}
 
 // ByID returns the experiment with the given ID or alias, matched
 // case-insensitively so `-exp e19` and `-exp E19` name the same table.

@@ -121,6 +121,13 @@ type Result struct {
 	// Reanchors counts closure-restoring bridge unions issued by a sharded
 	// run (zero on the flat path).
 	Reanchors int
+	// CASRetries counts root-link CAS attempts that lost a race to a
+	// concurrent link and retried — the direct-concurrent path's contention
+	// metric (zero on the engine and sharded paths, whose targets retry
+	// inside UniteCounted without reporting). Under overlap it measures how
+	// hard simultaneous batches, streams, and point callers collided on
+	// roots; E23 prints it.
+	CASRetries int64
 	// Filtered counts edges dropped before dispatch by the batch's filter
 	// passes (Prefilter dedup and/or the ConnectedFilter screen).
 	Filtered int

@@ -49,6 +49,15 @@
 // in-flight batches per connection by construction. Requests are
 // validated against the tenant's universe before execution — a remote
 // frame can never reach the wait-free core's unchecked indexing.
+//
+// Tenants whose structure is concurrent-capable (the lock-free kind —
+// dsu.Universe.Concurrent) skip the queueing half of that story: their
+// batch calls are safe to overlap, so RPCs execute immediately without
+// taking the per-tenant budget, and their stream connections run with
+// concurrent batch dispatch (up to the connection's in-flight bound of
+// batches executing simultaneously, replies in completion order). The
+// budget exists to serialize mutations a plain backend can't take
+// concurrently; a lock-free tenant doesn't need the protection.
 package server
 
 import (
@@ -75,7 +84,10 @@ type Config struct {
 	MaxFrame int
 	// MaxInFlight bounds, per tenant, the RPC batches executing
 	// concurrently, and caps the per-connection in-flight bound a stream
-	// may request; ≤ 0 selects 4.
+	// may request; ≤ 0 selects 4. Concurrent-capable tenants (the
+	// lock-free kind) are exempt from the RPC budget — overlap is their
+	// contract — but the stream cap still applies (it bounds buffered
+	// batches, which is memory, not safety).
 	MaxInFlight int
 	// StreamBuffer is the default stream seal threshold in edges; ≤ 0
 	// selects the dsu default (65536). Connections may override with the
@@ -134,12 +146,15 @@ func (s *Server) logf(format string, args ...any) {
 
 // TenantSpec is the JSON body of POST /v1/tenants: the tenant name plus
 // the structure configuration, phrased in the dsu option vocabulary's
-// wire-friendly form. Shards > 0 selects a sharded structure; Find names
-// a strategy per dsu.ParseFindStrategy ("auto" turns on the adaptive
-// policy); Seed fixes the random linking order for reproducible tenants.
+// wire-friendly form. Kind names the structure kind per dsu.ParseKind
+// ("flat", "sharded", "lockfree"); left empty, Shards > 0 selects a
+// sharded structure. Find names a strategy per dsu.ParseFindStrategy
+// ("auto" turns on the adaptive policy); Seed fixes the random linking
+// order for reproducible tenants.
 type TenantSpec struct {
 	Name             string `json:"name"`
 	N                int    `json:"n"`
+	Kind             string `json:"kind,omitempty"`
 	Shards           int    `json:"shards,omitempty"`
 	Find             string `json:"find,omitempty"`
 	EarlyTermination bool   `json:"early_termination,omitempty"`
@@ -154,7 +169,14 @@ func (sp TenantSpec) Options() ([]dsu.Option, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := dsu.ParseKind(sp.Kind)
+	if err != nil {
+		return nil, err
+	}
 	var opts []dsu.Option
+	if kind != 0 {
+		opts = append(opts, dsu.WithKind(kind))
+	}
 	if find != 0 {
 		opts = append(opts, dsu.WithFind(find))
 	}
@@ -177,17 +199,22 @@ type TenantInfo struct {
 	Kind     string `json:"kind"`
 	Shards   int    `json:"shards,omitempty"`
 	Adaptive bool   `json:"adaptive,omitempty"`
-	Sets     int    `json:"sets"`
+	// Concurrent reports the lock-free kind's capability: this tenant's
+	// requests run truly concurrently (no per-tenant RPC queueing,
+	// concurrent stream dispatch).
+	Concurrent bool `json:"concurrent,omitempty"`
+	Sets       int  `json:"sets"`
 }
 
 func infoOf(u *dsu.Universe) TenantInfo {
 	return TenantInfo{
-		Name:     u.Name(),
-		N:        u.N(),
-		Kind:     u.Kind(),
-		Shards:   u.Shards(),
-		Adaptive: u.Adaptive(),
-		Sets:     u.Sets(),
+		Name:       u.Name(),
+		N:          u.N(),
+		Kind:       u.Kind(),
+		Shards:     u.Shards(),
+		Adaptive:   u.Adaptive(),
+		Concurrent: u.Concurrent(),
+		Sets:       u.Sets(),
 	}
 }
 
@@ -347,16 +374,28 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 
 	// Per-tenant bounded in-flight: a burst queues against its own tenant's
 	// budget (or gives up with the client), never against other tenants.
-	sem := s.sem(u.Name())
-	select {
-	case sem <- struct{}{}:
-		defer func() { <-sem }()
-	case <-r.Context().Done():
-		http.Error(w, "client went away", http.StatusRequestTimeout)
-		return
-	case <-s.stop:
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-		return
+	// Concurrent-capable tenants skip the budget — their batch calls are
+	// safe to overlap, so queueing would only manufacture latency — and
+	// check only that the server is still accepting work.
+	if u.Concurrent() {
+		select {
+		case <-s.stop:
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		default:
+		}
+	} else {
+		sem := s.sem(u.Name())
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-r.Context().Done():
+			http.Error(w, "client went away", http.StatusRequestTimeout)
+			return
+		case <-s.stop:
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		}
 	}
 
 	var rep dsu.BatchReply
@@ -456,6 +495,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 		dsu.WithStreamContext(ctx),
 		dsu.WithBufferSize(buffer),
 		dsu.WithMaxInFlight(inflight),
+		// Honored only by concurrent-capable tenants (the dsu layer gates
+		// it on the backend); plain tenants keep in-order dispatch.
+		dsu.WithConcurrentBatches(),
 		dsu.WithBatchOptions(batch.Options()...),
 		dsu.WithOnBatch(func(br dsu.BatchResult) {
 			if br.Err != nil {
@@ -466,7 +508,8 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 			write(&wire.Envelope{Kind: wire.KindReply, Seq: br.ID, Reply: &rep})
 		}),
 	)
-	s.logf("stream open: tenant=%q format=%v buffer=%d inflight=%d", u.Name(), format, st.BufferSize(), inflight)
+	s.logf("stream open: tenant=%q format=%v buffer=%d inflight=%d concurrent=%v",
+		u.Name(), format, st.BufferSize(), inflight, u.Concurrent())
 
 	// Decode on a side goroutine so the ingest loop can select against the
 	// stream context: a push-only connection otherwise blocks in a body

@@ -143,10 +143,13 @@ func TestRPCMatchesInProcess(t *testing.T) {
 	}
 }
 
-// TestConcurrentTenantsMatchOracle is the acceptance test: two isolated
-// tenants — one flat, one sharded+adaptive — each served concurrently by
-// stream and RPC clients in both encodings, with queries in flight, must
-// end with exactly the partition a sequential in-process pass produces.
+// TestConcurrentTenantsMatchOracle is the acceptance test: three isolated
+// tenants — flat, sharded+adaptive, and lock-free — each served
+// concurrently by stream and RPC clients in both encodings, with queries
+// in flight, must end with exactly the partition a sequential in-process
+// pass produces. The lock-free tenant exercises the concurrent path end to
+// end: its RPCs bypass the per-tenant admission semaphore and its stream
+// overlaps sealed batches, yet the final partition is still the oracle's.
 // Run under -race (CI does).
 func TestConcurrentTenantsMatchOracle(t *testing.T) {
 	// Sparse enough (m/n = 2) that each tenant keeps a distinctive
@@ -162,6 +165,7 @@ func TestConcurrentTenantsMatchOracle(t *testing.T) {
 	}{
 		{TenantSpec{Name: "flat", N: n}, testEdges(n, m, 101)},
 		{TenantSpec{Name: "shard", N: n, Shards: 4, Find: "auto"}, testEdges(n, m, 202)},
+		{TenantSpec{Name: "lockfree", N: n, Kind: "lockfree"}, testEdges(n, m, 303)},
 	}
 	for _, tn := range tenants {
 		if _, err := c.CreateTenant(ctx, tn.spec); err != nil {
@@ -264,10 +268,18 @@ func TestConcurrentTenantsMatchOracle(t *testing.T) {
 		if info.Sets != oracle.Sets() {
 			t.Errorf("tenant %s: Sets = %d, oracle %d", tn.spec.Name, info.Sets, oracle.Sets())
 		}
+		if tn.spec.Kind == "lockfree" && (info.Kind != "lockfree" || !info.Concurrent) {
+			t.Errorf("tenant %s: info = %+v, want kind lockfree and Concurrent", tn.spec.Name, info)
+		}
 		labelSets = append(labelSets, got)
 	}
-	if reflect.DeepEqual(labelSets[0], labelSets[1]) {
-		t.Error("distinct tenants ended with identical partitions — isolation suspect (or the generator produced twins)")
+	for i := range labelSets {
+		for j := i + 1; j < len(labelSets); j++ {
+			if reflect.DeepEqual(labelSets[i], labelSets[j]) {
+				t.Errorf("tenants %s and %s ended with identical partitions — isolation suspect (or the generator produced twins)",
+					tenants[i].spec.Name, tenants[j].spec.Name)
+			}
+		}
 	}
 }
 

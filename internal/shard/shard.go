@@ -465,10 +465,30 @@ func (v view) SameSetCounted(x, y uint32, st *core.Stats) bool {
 	return v.sameSet(x, y, st)
 }
 
+// chaseRoot follows parent pointers from lx to a root within a snapshot
+// copy, under a hard hop bound of len(parent). In any per-word-atomic
+// snapshot of a core forest the chase terminates well inside the bound —
+// every pointer moves strictly up the linking order, whichever moment
+// each word was copied at — but the bound makes termination a structural
+// guarantee rather than an argument: even a degenerate (cyclic) pointer
+// array returns, with ok false, instead of spinning forever.
+func chaseRoot(parent []uint32, lx uint32) (r uint32, ok bool) {
+	r = lx
+	for hops := 0; parent[r] != r; hops++ {
+		if hops >= len(parent) {
+			return 0, false
+		}
+		r = parent[r]
+	}
+	return r, true
+}
+
 // reps resolves every element's global representative — the bridge root of
 // its shard-local root — in one pass per shard over a parent-array
-// snapshot. Quiescent-state use only: mid-mutation, local roots and bridge
-// classes are in flux and the per-root memoization would mix epochs.
+// snapshot. Call at quiescence for an exact picture: mid-mutation, local
+// roots and bridge classes are in flux and the per-root memoization mixes
+// epochs, but the pass still terminates (chaseRoot's hop bound, with the
+// live wait-free Find as the fallback resolver).
 func (d *DSU) reps() []uint32 {
 	n := d.part.N()
 	rep := make([]uint32, n)
@@ -476,9 +496,11 @@ func (d *DSU) reps() []uint32 {
 		parent := d.locals[i].Snapshot()
 		repOf := make(map[uint32]uint32, 16)
 		for lx := range parent {
-			r := uint32(lx)
-			for parent[r] != r {
-				r = parent[r]
+			r, ok := chaseRoot(parent, uint32(lx))
+			if !ok {
+				// The snapshot degenerated; resolve through the live
+				// structure, whose finds are wait-free.
+				r = d.locals[i].Find(uint32(lx))
 			}
 			br, ok := repOf[r]
 			if !ok {
@@ -494,11 +516,13 @@ func (d *DSU) reps() []uint32 {
 // Snapshot returns the flattened global forest: element x's entry is its
 // global representative, so every tree has depth at most one. The
 // two-level structure has no single parent array to copy — stitching the
-// local and bridge forests into one pointer array can cycle through
+// local and bridge forests into one pointer array could cycle through
 // dethroned roots — so the flattened view is the honest single-array
 // picture of the partition. Roots are exactly the global representatives
 // (parent[x] == x), matching the flat structure's root convention.
-// Quiescent-state use only.
+// Exact at quiescence; mid-mutation the entries may mix epochs but the
+// call always terminates (every root chase runs under chaseRoot's hard
+// hop bound).
 func (d *DSU) Snapshot() []uint32 { return d.reps() }
 
 // ID returns x's position in the bridge level's random linking order,

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/workload"
+)
+
+// TestChaseRootBound pins the hop bound that turned Snapshot's termination
+// caveat into a guarantee: a well-formed snapshot resolves to its root, and
+// a degenerate (cyclic) pointer array — which a consistent core snapshot
+// can never be, but the guard must not assume — returns ok=false instead of
+// spinning.
+func TestChaseRootBound(t *testing.T) {
+	// Chain 0→1→2→3 (root 3), plus the self-root 4.
+	parent := []uint32{1, 2, 3, 3, 4}
+	if r, ok := chaseRoot(parent, 0); !ok || r != 3 {
+		t.Fatalf("chaseRoot(chain, 0) = %d, %v; want 3, true", r, ok)
+	}
+	if r, ok := chaseRoot(parent, 4); !ok || r != 4 {
+		t.Fatalf("chaseRoot(chain, 4) = %d, %v; want 4, true", r, ok)
+	}
+	// Cycles of each flavor: the bound must trip, not hang.
+	for _, tc := range []struct {
+		name   string
+		parent []uint32
+		start  uint32
+	}{
+		{"two-cycle", []uint32{1, 0}, 0},
+		{"three-cycle", []uint32{1, 2, 0, 3}, 1},
+		{"tail-into-cycle", []uint32{1, 2, 1}, 0},
+	} {
+		if r, ok := chaseRoot(tc.parent, tc.start); ok {
+			t.Fatalf("chaseRoot(%s, %d) = %d, true; want the bound to trip", tc.name, tc.start, r)
+		}
+	}
+}
+
+// TestSnapshotTerminatesMidMutation hammers Snapshot and CanonicalLabels
+// concurrently with mutation batches: every call must return (the hop
+// bound guarantees termination even over mixed-epoch snapshots), and once
+// the mutations quiesce the flattened view must agree exactly with the
+// canonical labelling's partition.
+func TestSnapshotTerminatesMidMutation(t *testing.T) {
+	const n, shards = 4096, 4
+	d := New(n, shards, core.Config{Seed: 99})
+	ops := workload.RandomUnions(n, 4*n, 7)
+	edges := make([]exec.Edge, len(ops))
+	for i, op := range ops {
+		edges[i] = exec.Edge{X: op.X, Y: op.Y}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for lo := 0; lo < len(edges); lo += 512 {
+			hi := lo + 512
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			d.UniteAll(edges[lo:hi], exec.Config{Workers: 2})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := d.Snapshot(); len(got) != n {
+				t.Errorf("Snapshot len = %d, want %d", len(got), n)
+				return
+			}
+			d.CanonicalLabels()
+		}
+	}()
+	wg.Wait()
+
+	// Quiescent: snapshot entries are roots, and the flattened forest and
+	// the labelling name the same partition.
+	snap := d.Snapshot()
+	labels := d.CanonicalLabels()
+	for x := 0; x < n; x++ {
+		if snap[snap[x]] != snap[x] {
+			t.Fatalf("snapshot entry %d → %d is not a root", x, snap[x])
+		}
+		for y := x + 1; y < x+3 && y < n; y++ {
+			if (snap[x] == snap[y]) != (labels[x] == labels[y]) {
+				t.Fatalf("snapshot and labels disagree on (%d,%d)", x, y)
+			}
+		}
+	}
+}
