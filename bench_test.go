@@ -505,3 +505,41 @@ func BenchmarkFindOnDeepForest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMetricsOverhead pins the instrumentation tax on the batch hot
+// path: the same UniteAll loop over one universe, with and without a
+// metrics registry attached. The disabled mode must cost nothing beyond
+// one nil check (and add zero allocations — the internal/metrics tests
+// pin that); the instrumented mode's tax is a handful of atomic adds and
+// one histogram observation per batch, so it should stay under 2%.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const n = 1 << 16
+	const batch = 4096
+	edges := make([]dsu.Edge, batch)
+	rng := workload.RandomUnions(n, batch, 17)
+	for i, op := range rng {
+		edges[i] = dsu.Edge{X: op.X, Y: op.Y}
+	}
+	run := func(b *testing.B, m *dsu.Metrics) {
+		var opts []dsu.RegistryOption
+		if m != nil {
+			opts = append(opts, dsu.WithMetrics(m))
+		}
+		reg := dsu.NewRegistry(opts...)
+		u, err := reg.Create("bench", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := dsu.UniteRequest{Edges: edges}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.UniteAll(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Medge/s")
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) { run(b, dsu.NewMetrics()) })
+}

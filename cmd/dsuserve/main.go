@@ -18,6 +18,16 @@
 // serve their RPCs and stream batches truly concurrently — no per-tenant
 // queueing.
 //
+// With -metrics the process instruments every tenant and the front end
+// itself and serves a Prometheus text exposition on /metrics — the dsu
+// per-tenant series (batches, edges, merges, find steps, CAS retries,
+// batch-latency histograms, stream gauges) and the server series
+// (request latency, active streams, wire frames/bytes, budget pressure)
+// on one page — plus a per-tenant totals line in the shutdown log. With
+// -pprof it additionally mounts net/http/pprof under /debug/pprof/ and
+// expvar under /debug/vars. Both are off by default: observability is
+// opt-in, and the uninstrumented hot path pays nothing.
+//
 // On SIGINT/SIGTERM the server shuts down cleanly: open stream
 // connections have their contexts cancelled (clients receive
 // loss-reporting end envelopes — the dsu layer's Flush/Close cancellation
@@ -27,10 +37,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -85,11 +97,19 @@ func main() {
 		maxN     = flag.Int("maxn", 0, "largest universe a remote create may request (0 = 2²⁶)")
 		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
+		withMet  = flag.Bool("metrics", false, "instrument tenants and the server; serve Prometheus text on /metrics")
+		withProf = flag.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/ and expvar on /debug/vars")
 	)
 	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:kind[:find]] (repeatable)")
 	flag.Parse()
 
-	reg := dsu.NewRegistry()
+	var met *dsu.Metrics
+	var regOpts []dsu.RegistryOption
+	if *withMet {
+		met = dsu.NewMetrics()
+		regOpts = append(regOpts, dsu.WithMetrics(met))
+	}
+	reg := dsu.NewRegistry(regOpts...)
 	for _, spec := range tenants {
 		ts, err := parseTenant(spec)
 		if err != nil {
@@ -115,12 +135,36 @@ func main() {
 		MaxInFlight:  *inflight,
 		StreamBuffer: *buffer,
 		MaxN:         *maxN,
+		Metrics:      met,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
 	srv := server.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// The API stays at /; the observability endpoints mount beside it only
+	// when asked for, and never on http.DefaultServeMux — what this process
+	// serves is exactly what its flags say.
+	var handler http.Handler = srv
+	if *withMet || *withProf {
+		mux := http.NewServeMux()
+		mux.Handle("/", srv)
+		if *withMet {
+			mux.Handle("/metrics", met)
+			log.Printf("metrics enabled: /metrics")
+		}
+		if *withProf {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			mux.Handle("/debug/vars", expvar.Handler())
+			log.Printf("profiling enabled: /debug/pprof/ /debug/vars")
+		}
+		handler = mux
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -146,6 +190,20 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("dsuserve: shutdown: %v", err)
 		os.Exit(1)
+	}
+	// One totals line per tenant — the lifetime accounting a scraper would
+	// have read from /metrics, preserved in the shutdown log.
+	if met != nil {
+		for _, name := range reg.Names() {
+			u, ok := reg.Get(name)
+			if !ok {
+				continue
+			}
+			tm := u.Metrics()
+			log.Printf("tenant %q totals: unite_batches=%d unite_edges=%d merged=%d filtered=%d query_batches=%d query_pairs=%d find_steps=%d cas_retries=%d sets=%d",
+				name, tm.UniteBatches, tm.UniteEdges, tm.Merged, tm.Filtered,
+				tm.QueryBatches, tm.QueryPairs, tm.FindSteps, tm.CASRetries, u.Sets())
+		}
 	}
 	log.Printf("dsuserve: bye")
 }

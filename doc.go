@@ -21,7 +21,11 @@
 // verbatim by in-process callers and the network front end —
 // cmd/dsuserve serves universes over HTTP with length-prefixed binary
 // batch framing (JSON debug mode included), streaming ingestion with
-// end-to-end backpressure, and per-tenant in-flight bounds.
+// end-to-end backpressure, and per-tenant in-flight bounds. An opt-in
+// observability layer (dsu.Metrics, dsuserve's -metrics/-pprof flags)
+// exposes per-tenant Prometheus series fed from the same execution-seam
+// accounting the batch replies carry, plus server request/traffic
+// metrics, at zero hot-path cost when disabled.
 //
 // The substrates — the APRAM simulator, sequential baselines, the
 // Anderson–Woll comparator, the linearizability checker, workload

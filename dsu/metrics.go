@@ -1,0 +1,224 @@
+package dsu
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+)
+
+// Metrics is the package's instrumentation registry: one of these owns
+// the metric families every instrumented universe feeds — per-tenant
+// batch counters, latency histograms, CAS-retry and adaptive-variant
+// series, stream pipeline gauges — and writes them as a Prometheus text
+// exposition (it is an http.Handler, mountable as /metrics).
+//
+// Attach one to a Registry with WithMetrics, or to a hand-built universe
+// with Universe.Instrument; instrumentation rides the execution seam, so
+// every path into a tenant's structure — blocking batch calls, streams,
+// remote RPCs — feeds the same series without the caller doing anything.
+// Without a Metrics attached nothing is recorded and the batch hot path
+// pays one nil check (and zero allocations) — the disabled mode the root
+// BenchmarkMetricsOverhead pins down.
+//
+// # Series catalog
+//
+// Per tenant (label "tenant"; batch series split by "op" = unite|query):
+//
+//	dsu_batches_total{tenant,op}            executed batch calls
+//	dsu_batch_edges_total{tenant,op}        batch elements before filtering
+//	dsu_find_steps_total{tenant,op}         find-loop iterations, all phases
+//	dsu_batch_seconds{tenant,op}            end-to-end batch latency histogram
+//	dsu_merged_edges_total{tenant}          edges that performed a merge
+//	dsu_filtered_edges_total{tenant}        edges dropped by filter passes
+//	dsu_screen_find_steps_total{tenant}     ConnectedFilter screen find work
+//	dsu_cas_retries_total{tenant}           lock-free root-link CAS retries
+//	dsu_find_variant_total{tenant,find}     query batches by resolved variant
+//	dsu_streams_active{tenant}              open streams (gauge)
+//	dsu_stream_inflight_batches{tenant}     sealed batches past accumulators (gauge)
+//	dsu_stream_executing_batches{tenant}    batches inside UniteAll (gauge)
+//	dsu_stream_recycled_buffers_total{tenant} buffers reused through free lists
+//
+// The batch counters are exactly the exec.Result accounting every call
+// already returns: a scrape's per-tenant totals equal the sum of the
+// BatchReply values handed to that tenant's callers.
+type Metrics struct {
+	reg *metrics.Registry
+
+	batches     *metrics.CounterVec
+	edges       *metrics.CounterVec
+	findSteps   *metrics.CounterVec
+	latency     *metrics.HistogramVec
+	merged      *metrics.CounterVec
+	filtered    *metrics.CounterVec
+	screenFinds *metrics.CounterVec
+	casRetries  *metrics.CounterVec
+	picks       *metrics.CounterVec
+
+	streamsActive   *metrics.GaugeVec
+	streamInFlight  *metrics.GaugeVec
+	streamExecuting *metrics.GaugeVec
+	streamRecycled  *metrics.CounterVec
+}
+
+// NewMetrics returns a fresh instrumentation registry with the dsu
+// family catalog registered.
+func NewMetrics() *Metrics {
+	reg := metrics.NewRegistry()
+	return &Metrics{
+		reg:         reg,
+		batches:     reg.CounterVec("dsu_batches_total", "Batch calls executed, by tenant and operation kind.", "tenant", "op"),
+		edges:       reg.CounterVec("dsu_batch_edges_total", "Batch elements received (edges or query pairs), before filter passes.", "tenant", "op"),
+		findSteps:   reg.CounterVec("dsu_find_steps_total", "Find-loop iterations across every batch phase (workers, shards, bridge, re-anchoring, filters).", "tenant", "op"),
+		latency:     reg.HistogramVec("dsu_batch_seconds", "End-to-end batch wall-clock latency in seconds, filter passes included.", nil, "tenant", "op"),
+		merged:      reg.CounterVec("dsu_merged_edges_total", "Unite-batch edges that performed a merge.", "tenant"),
+		filtered:    reg.CounterVec("dsu_filtered_edges_total", "Edges dropped before dispatch by Prefilter dedup or the ConnectedFilter screen.", "tenant"),
+		screenFinds: reg.CounterVec("dsu_screen_find_steps_total", "Find-loop iterations spent in ConnectedFilter screen passes.", "tenant"),
+		casRetries:  reg.CounterVec("dsu_cas_retries_total", "Root-link CAS attempts that lost a race and retried (lock-free backend contention).", "tenant"),
+		picks:       reg.CounterVec("dsu_find_variant_total", "Query batches by the find variant that actually ran (the adaptive policy's picks).", "tenant", "find"),
+
+		streamsActive:   reg.GaugeVec("dsu_streams_active", "Open streams (ingestion pipelines).", "tenant"),
+		streamInFlight:  reg.GaugeVec("dsu_stream_inflight_batches", "Sealed stream batches past the accumulator: queued, blocked, or executing.", "tenant"),
+		streamExecuting: reg.GaugeVec("dsu_stream_executing_batches", "Stream batches currently inside UniteAll.", "tenant"),
+		streamRecycled:  reg.CounterVec("dsu_stream_recycled_buffers_total", "Stream buffers reused through the pipeline free list.", "tenant"),
+	}
+}
+
+// Registry returns the underlying instrumentation registry, for layers
+// that register their own families onto the same exposition (the network
+// front end's server series ride here).
+func (m *Metrics) Registry() *metrics.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// WriteText writes the full exposition in Prometheus text format v0.0.4.
+// Safe concurrently with all recording.
+func (m *Metrics) WriteText(w io.Writer) error { return m.Registry().WriteText(w) }
+
+// ServeHTTP makes Metrics an http.Handler: mount it as /metrics.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.TextContentType)
+	_ = m.WriteText(w)
+}
+
+// instruments resolves the per-tenant executor bundle.
+func (m *Metrics) instruments(tenant string) *exec.Instruments {
+	if m == nil {
+		return nil
+	}
+	ins := &exec.Instruments{
+		Unite: exec.OpInstruments{
+			Batches:   m.batches.With(tenant, "unite"),
+			Edges:     m.edges.With(tenant, "unite"),
+			FindSteps: m.findSteps.With(tenant, "unite"),
+			Latency:   m.latency.With(tenant, "unite"),
+		},
+		Query: exec.OpInstruments{
+			Batches:   m.batches.With(tenant, "query"),
+			Edges:     m.edges.With(tenant, "query"),
+			FindSteps: m.findSteps.With(tenant, "query"),
+			Latency:   m.latency.With(tenant, "query"),
+		},
+		Merged:          m.merged.With(tenant),
+		Filtered:        m.filtered.With(tenant),
+		ScreenFindSteps: m.screenFinds.With(tenant),
+		CASRetries:      m.casRetries.With(tenant),
+	}
+	for f := core.FindNaive; f <= core.FindCompress; f++ {
+		ins.Picks[f] = m.picks.With(tenant, f.String())
+	}
+	return ins
+}
+
+// gauges resolves the per-tenant stream pipeline gauges.
+func (m *Metrics) gauges(tenant string) pipeline.Gauges {
+	if m == nil {
+		return pipeline.Gauges{}
+	}
+	return pipeline.Gauges{
+		Active:    m.streamsActive.With(tenant),
+		InFlight:  m.streamInFlight.With(tenant),
+		Executing: m.streamExecuting.With(tenant),
+		Recycled:  m.streamRecycled.With(tenant),
+	}
+}
+
+// Instrument attaches m's per-tenant series to the universe: every batch
+// through the structure's execution seam — blocking, streamed, or remote
+// — feeds them from here on, and streams opened via this universe feed
+// the pipeline gauges. Call before the universe is shared (Registry
+// universes built with WithMetrics are instrumented at Create, before
+// they are visible). Instrumenting with a nil Metrics is a no-op.
+func (u *Universe) Instrument(m *Metrics) {
+	if m == nil {
+		return
+	}
+	u.b.executor().Instrument(m.instruments(u.name))
+	u.sg = m.gauges(u.name)
+}
+
+// TenantMetrics is one universe's accounting totals, read from the live
+// instruments — the in-process face of the /metrics exposition, so
+// embedders and benchmarks see exactly what a scraper would. The batch
+// totals equal the summed exec.Result/BatchReply values returned to this
+// tenant's callers since instrumentation.
+type TenantMetrics struct {
+	// Instrumented reports whether the universe has live instruments; when
+	// false every other field is zero.
+	Instrumented bool
+
+	// UniteBatches/QueryBatches count executed batch calls; UniteEdges/
+	// QueryPairs their elements (before filter passes).
+	UniteBatches, QueryBatches int64
+	UniteEdges, QueryPairs     int64
+	// Merged counts edges that performed a merge; Filtered counts edges
+	// dropped by filter passes.
+	Merged, Filtered int64
+	// FindSteps sums find-loop iterations across unite and query batches
+	// (every phase); ScreenFindSteps is the ConnectedFilter screen's share.
+	FindSteps, ScreenFindSteps int64
+	// CASRetries counts lock-free root-link CAS retries.
+	CASRetries int64
+	// VariantPicks counts query batches by the find variant that ran.
+	VariantPicks map[FindStrategy]int64
+	// StreamsActive and StreamBatchesInFlight are the live pipeline
+	// gauges for streams opened through this universe.
+	StreamsActive, StreamBatchesInFlight int64
+}
+
+// Metrics returns the universe's live accounting snapshot. On an
+// uninstrumented universe it returns the zero TenantMetrics (Instrumented
+// false).
+func (u *Universe) Metrics() TenantMetrics {
+	ins := u.b.executor().Instruments()
+	if ins == nil {
+		return TenantMetrics{}
+	}
+	tm := TenantMetrics{
+		Instrumented:          true,
+		UniteBatches:          ins.Unite.Batches.Value(),
+		QueryBatches:          ins.Query.Batches.Value(),
+		UniteEdges:            ins.Unite.Edges.Value(),
+		QueryPairs:            ins.Query.Edges.Value(),
+		Merged:                ins.Merged.Value(),
+		Filtered:              ins.Filtered.Value(),
+		FindSteps:             ins.Unite.FindSteps.Value() + ins.Query.FindSteps.Value(),
+		ScreenFindSteps:       ins.ScreenFindSteps.Value(),
+		CASRetries:            ins.CASRetries.Value(),
+		VariantPicks:          make(map[FindStrategy]int64),
+		StreamsActive:         u.sg.Active.Value(),
+		StreamBatchesInFlight: u.sg.InFlight.Value(),
+	}
+	for f := core.FindNaive; f <= core.FindCompress; f++ {
+		if v := ins.Picks[f].Value(); v > 0 {
+			tm.VariantPicks[findStrategyOf(f)] = v
+		}
+	}
+	return tm
+}

@@ -167,6 +167,7 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 		MaxInFlight: cfg.inflight,
 		Concurrent:  cfg.concurrent && concurrentOK,
 		Context:     cfg.ctx,
+		Gauges:      u.sg, // zero (recording nothing) when uninstrumented
 		Callback: func(r pipeline.Result) {
 			s.batches.Add(1)
 			s.edges.Add(int64(r.Edges))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/pipeline"
 )
 
 // A Universe is the tenant-scoped view of one disjoint-set structure: a
@@ -32,6 +33,11 @@ import (
 type Universe struct {
 	name string
 	b    Backend
+	// sg holds the tenant's stream pipeline gauges, resolved by
+	// Instrument; the zero value records nothing. Streams opened through
+	// this universe feed them (the executor-side instruments live on the
+	// backend's execution seam and need no per-universe state).
+	sg pipeline.Gauges
 }
 
 // NewUniverse wraps an existing structure as a named universe — for
@@ -184,12 +190,17 @@ type BatchReply struct {
 	// Answers is nil on unite replies; on query replies it is non-nil and
 	// indexed like the request's Pairs (no omitempty: a zero-pair query's
 	// empty slice must survive the JSON encoding like it does the binary).
-	Answers  []bool        `json:"answers"`
-	Merged   int64         `json:"merged"`
-	Filtered int           `json:"filtered,omitempty"`
-	Find     FindStrategy  `json:"find,omitempty"`
-	Elapsed  time.Duration `json:"elapsed,omitempty"`
-	Stats    Stats         `json:"stats"`
+	Answers  []bool       `json:"answers"`
+	Merged   int64        `json:"merged"`
+	Filtered int          `json:"filtered,omitempty"`
+	Find     FindStrategy `json:"find,omitempty"`
+	// CASRetries carries exec.Result.CASRetries: root-link CAS attempts
+	// that lost a race and retried — the lock-free backend's contention
+	// metric (always zero for the engine-pooled kinds). Remote callers of
+	// a lock-free tenant read their batches' contention here.
+	CASRetries int64         `json:"cas_retries,omitempty"`
+	Elapsed    time.Duration `json:"elapsed,omitempty"`
+	Stats      Stats         `json:"stats"`
 }
 
 // findStrategyOf maps a resolved core variant back to the public
@@ -215,12 +226,13 @@ func findStrategyOf(f core.Find) FindStrategy {
 // replyOf assembles the DTO from one execution record.
 func replyOf(answers []bool, res exec.Result) BatchReply {
 	return BatchReply{
-		Answers:  answers,
-		Merged:   res.Merged,
-		Filtered: res.Filtered,
-		Find:     findStrategyOf(res.Find),
-		Elapsed:  res.Elapsed,
-		Stats:    res.Stats(),
+		Answers:    answers,
+		Merged:     res.Merged,
+		Filtered:   res.Filtered,
+		Find:       findStrategyOf(res.Find),
+		CASRetries: res.CASRetries,
+		Elapsed:    res.Elapsed,
+		Stats:      res.Stats(),
 	}
 }
 
@@ -294,11 +306,12 @@ func (u *Universe) Validate(pairs []Edge) error {
 // their Err travels as a protocol error instead.)
 func ReplyOf(r BatchResult) BatchReply {
 	return BatchReply{
-		Merged:   r.Merged,
-		Filtered: r.Filtered,
-		Find:     findStrategyOf(r.Find),
-		Elapsed:  r.Elapsed,
-		Stats:    r.Stats(),
+		Merged:     r.Merged,
+		Filtered:   r.Filtered,
+		Find:       findStrategyOf(r.Find),
+		CASRetries: r.CASRetries,
+		Elapsed:    r.Elapsed,
+		Stats:      r.Stats(),
 	}
 }
 
@@ -392,10 +405,40 @@ func ParseKind(s string) (Kind, error) {
 type Registry struct {
 	mu sync.RWMutex
 	m  map[string]*Universe
+	// metrics, when non-nil, instruments every universe Create builds
+	// (WithMetrics): per-tenant series resolved under the tenant's name.
+	metrics *Metrics
+}
+
+// RegistryOption configures NewRegistry.
+type RegistryOption interface {
+	applyRegistry(*Registry)
+}
+
+type registryOptionFunc func(*Registry)
+
+func (f registryOptionFunc) applyRegistry(r *Registry) { f(r) }
+
+// WithMetrics attaches an instrumentation registry: every universe this
+// Registry creates is instrumented at Create, before it becomes visible,
+// so its whole lifetime of batches lands in m's per-tenant series. A nil
+// m leaves the registry uninstrumented.
+func WithMetrics(m *Metrics) RegistryOption {
+	return registryOptionFunc(func(r *Registry) { r.metrics = m })
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{m: make(map[string]*Universe)} }
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{m: make(map[string]*Universe)}
+	for _, o := range opts {
+		o.applyRegistry(r)
+	}
+	return r
+}
+
+// Metrics returns the attached instrumentation registry, nil when the
+// registry is uninstrumented.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
 
 // Create builds a new universe under name and registers it. The structure
 // kind is chosen by the option vocabulary: an explicit WithKind wins;
@@ -473,6 +516,7 @@ func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error)
 		b = New(n, opts...)
 	}
 	u := &Universe{name: name, b: b}
+	u.Instrument(r.metrics) // no-op when uninstrumented
 	r.m[name] = u
 	return u, nil
 }

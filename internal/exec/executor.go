@@ -10,6 +10,10 @@ package exec
 type Executor struct {
 	b   Backend
 	est *Estimator
+	// ins is the attached metrics bundle (nil until Instrument): because
+	// every batch path funnels through this type, feeding it here is what
+	// instruments blocking calls, stream batches, and remote RPCs at once.
+	ins insPtr
 }
 
 // NewExecutor wraps b. With adaptive set, query batches pick their find
@@ -46,6 +50,9 @@ func (e *Executor) UniteAll(edges []Edge, cfg Config) Result {
 	if e.est != nil && len(edges) > 0 {
 		e.est.ObserveMutate(res.Find, res.Stats(), len(edges), res.Merged)
 	}
+	if m := e.ins.Load(); m != nil {
+		m.observeUnite(len(edges), &res)
+	}
 	return res
 }
 
@@ -60,6 +67,9 @@ func (e *Executor) SameSetAll(pairs []Edge, cfg Config) ([]bool, Result) {
 	out, res := e.b.SameSetAll(pairs, cfg)
 	if e.est != nil && len(pairs) > 0 {
 		e.est.ObserveQuery(res.Find, res.Stats())
+	}
+	if m := e.ins.Load(); m != nil {
+		m.observeQuery(len(pairs), &res)
 	}
 	return out, res
 }

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// OpInstruments is the per-operation-kind slice of an Instruments bundle:
+// unite batches and query batches each get their own batch/edge/find-step
+// counters and latency histogram, so a scraper can tell mutation traffic
+// from query traffic per tenant.
+type OpInstruments struct {
+	// Batches counts executed batch calls.
+	Batches *metrics.Counter
+	// Edges counts the elements of those batches (edges or query pairs),
+	// before any filter pass.
+	Edges *metrics.Counter
+	// FindSteps counts find-loop iterations across every phase of the
+	// batch (workers, shards, bridge, re-anchoring, filters) — the paper's
+	// work-per-operation observable, live.
+	FindSteps *metrics.Counter
+	// Latency is the end-to-end batch wall-clock histogram, in seconds.
+	Latency *metrics.Histogram
+}
+
+// observe records one batch run. Nil instruments discard for free.
+func (o *OpInstruments) observe(n int, st core.Stats, res *Result) {
+	o.Batches.Inc()
+	o.Edges.Add(int64(n))
+	o.FindSteps.Add(st.FindSteps)
+	o.Latency.Observe(res.Elapsed.Seconds())
+}
+
+// Instruments is the per-tenant metrics bundle the Executor feeds on
+// every batch it runs — the point of the exec seam is that blocking
+// calls, stream batches, and remote RPCs all funnel through one Executor,
+// so attaching the bundle here instruments every path at once, without
+// any caller doing anything. All fields are nil-safe: a zero bundle (or
+// individual nil instruments) records nothing, and the dsu layer resolves
+// the fields from its metrics registry when (and only when) a tenant is
+// instrumented.
+//
+// The instruments are shared registry children: the Executor only ever
+// Adds to them, so any number of executors may share a bundle (they
+// don't, in practice — one tenant, one structure, one executor).
+type Instruments struct {
+	// Unite and Query split the per-op series by batch kind; the
+	// ConnectedFilter screen's work is accounted under the batch that ran
+	// it (Screen counts its finds separately below).
+	Unite, Query OpInstruments
+	// Merged counts edges that performed a merge, summed over unite
+	// batches — comparable against a scrape-time Sets() delta.
+	Merged *metrics.Counter
+	// Filtered counts edges dropped before dispatch by Prefilter dedup or
+	// the ConnectedFilter screen.
+	Filtered *metrics.Counter
+	// ScreenFindSteps counts the find work of ConnectedFilter screen
+	// passes alone (already included in the owning batch's FindSteps via
+	// Result.Stats; broken out so screen cost is observable).
+	ScreenFindSteps *metrics.Counter
+	// CASRetries counts root-link CAS retries — the lock-free backend's
+	// contention metric (always zero for engine-pooled backends).
+	CASRetries *metrics.Counter
+	// Picks counts query batches by the find variant that actually ran,
+	// indexed by core.Find — the adaptive policy's downgrade decisions,
+	// live (fixed-mode tenants see all counts on the configured variant).
+	// Index 0 absorbs an unset variant.
+	Picks [core.FindCompress + 1]*metrics.Counter
+}
+
+// observeUnite records one mutation batch.
+func (m *Instruments) observeUnite(n int, res *Result) {
+	st := res.Stats()
+	m.Unite.observe(n, st, res)
+	m.Merged.Add(res.Merged)
+	m.Filtered.Add(int64(res.Filtered))
+	m.ScreenFindSteps.Add(res.FilterStats.FindSteps)
+	m.CASRetries.Add(res.CASRetries)
+}
+
+// observeQuery records one query batch.
+func (m *Instruments) observeQuery(n int, res *Result) {
+	m.Query.observe(n, res.Stats(), res)
+	m.CASRetries.Add(res.CASRetries)
+	f := res.Find
+	if f < 0 || int(f) >= len(m.Picks) {
+		f = 0
+	}
+	m.Picks[f].Inc()
+}
+
+// Instrument attaches the bundle; subsequent batches feed it. It may be
+// called at most once, before the executor is shared across goroutines
+// (in practice: during tenant creation, before the Universe is
+// published); the atomic pointer keeps a scrape racing an attach sound.
+func (e *Executor) Instrument(m *Instruments) { e.ins.Store(m) }
+
+// Instruments returns the attached bundle, nil when uninstrumented.
+func (e *Executor) Instruments() *Instruments { return e.ins.Load() }
+
+// insPtr is the Executor's bundle slot (declared here with the rest of
+// the instrumentation so executor.go stays about policy).
+type insPtr = atomic.Pointer[Instruments]

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// TextContentType is the Prometheus text exposition content type this
+// writer produces.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes every family in Prometheus text format v0.0.4:
+// families sorted by name, one # HELP and # TYPE line each, series
+// sorted by label values, histograms expanded into cumulative _bucket
+// series plus _sum and _count. Safe concurrently with recordings — each
+// value is an atomic load, so a scrape observes a consistent value per
+// sample (not a consistent cut across samples, per the usual Prometheus
+// contract). A nil Registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		children := f.snapshot()
+		if len(children) == 0 {
+			continue // a Vec with no resolved children has no series yet
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		writeEscapedHelp(bw, f.help)
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, ch := range children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", "", formatInt(ch.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, "", f.labels, ch.values, "", "", formatInt(ch.g.Value()))
+			case kindHistogram:
+				// Cumulative buckets: each le bound counts every observation
+				// ≤ it, and le="+Inf" equals _count.
+				var cum int64
+				for i, bound := range f.bounds {
+					cum += ch.h.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", f.labels, ch.values, "le", formatFloat(bound), formatInt(cum))
+				}
+				cum += ch.h.counts[len(f.bounds)].Load()
+				writeSample(bw, f.name, "_bucket", f.labels, ch.values, "le", "+Inf", formatInt(cum))
+				writeSample(bw, f.name, "_sum", f.labels, ch.values, "", "", formatFloat(ch.h.Sum()))
+				writeSample(bw, f.name, "_count", f.labels, ch.values, "", "", formatInt(ch.h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition — the /metrics
+// endpoint. A nil Registry serves an empty (valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", TextContentType)
+		_ = r.WriteText(w)
+	})
+}
+
+// writeSample writes one series line: name+suffix, the label set (plus
+// one extra label for histogram le), and the value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, extraLabel, extraValue, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || extraLabel != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			writeEscapedLabel(bw, values[i])
+			bw.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraLabel)
+			bw.WriteString(`="`)
+			writeEscapedLabel(bw, extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// writeEscapedLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func writeEscapedLabel(bw *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '"':
+			bw.WriteString(`\"`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}
+
+// writeEscapedHelp escapes a HELP string: backslash and newline only
+// (quotes are legal in help text).
+func writeEscapedHelp(bw *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			bw.WriteString(`\\`)
+		case '\n':
+			bw.WriteString(`\n`)
+		default:
+			bw.WriteByte(c)
+		}
+	}
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

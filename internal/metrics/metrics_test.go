@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // discarded: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	// Re-registration under the same type returns the same instrument.
+	if r.Counter("c_total", "a counter").Value() != 5 {
+		t.Fatal("re-registered counter is a different instrument")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "a histogram", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-106) > 1e-9 {
+		t.Fatalf("sum = %v, want 106", got)
+	}
+	// Bucket upper bounds are inclusive: the observation at exactly 1
+	// lands in le="1".
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="2"} 3`,
+		`h_bucket{le="4"} 4`,
+		`h_bucket{le="+Inf"} 5`,
+		`h_sum 106`,
+		`h_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionGolden pins the full text format — HELP/TYPE lines,
+// family sort order, label rendering, label-value escaping, cumulative
+// histogram expansion — against an exact expected document.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	bv := r.CounterVec("dsu_batches_total", "Batches executed.", "tenant", "op")
+	bv.With("alpha", "unite").Add(3)
+	bv.With("alpha", "query").Add(2)
+	bv.With("we\"ird\\ten\nant", "unite").Inc() // quote, backslash, real newline
+	r.Gauge("dsu_streams_active", "Open streams.").Set(2)
+	h := r.HistogramVec("dsu_batch_seconds", "Batch wall-clock latency.\nSecond help line.", []float64{0.001, 0.01}, "tenant")
+	h.With("alpha").Observe(0.0005)
+	h.With("alpha").Observe(0.005)
+	h.With("alpha").Observe(5)
+
+	const want = `# HELP dsu_batch_seconds Batch wall-clock latency.\nSecond help line.
+# TYPE dsu_batch_seconds histogram
+dsu_batch_seconds_bucket{tenant="alpha",le="0.001"} 1
+dsu_batch_seconds_bucket{tenant="alpha",le="0.01"} 2
+dsu_batch_seconds_bucket{tenant="alpha",le="+Inf"} 3
+dsu_batch_seconds_sum{tenant="alpha"} 5.0055
+dsu_batch_seconds_count{tenant="alpha"} 3
+# HELP dsu_batches_total Batches executed.
+# TYPE dsu_batches_total counter
+dsu_batches_total{tenant="alpha",op="query"} 2
+dsu_batches_total{tenant="alpha",op="unite"} 3
+dsu_batches_total{tenant="we\"ird\\ten\nant",op="unite"} 1
+# HELP dsu_streams_active Open streams.
+# TYPE dsu_streams_active gauge
+dsu_streams_active 2
+`
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramConsistency checks the invariants a scraper relies on:
+// buckets are cumulative (monotone nondecreasing in le), le="+Inf"
+// equals _count, and _sum matches the observations.
+func TestHistogramConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", ExpBuckets(0.001, 2, 8))
+	var sum float64
+	for i := 0; i < 1000; i++ {
+		v := float64(i%700) / 1000
+		h.Observe(v)
+		sum += v
+	}
+	var prev int64
+	for i := range h.bounds {
+		var cum int64
+		for j := 0; j <= i; j++ {
+			cum += h.counts[j].Load()
+		}
+		if cum < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, cum, prev)
+		}
+		prev = cum
+	}
+	var inf int64
+	for i := range h.counts {
+		inf += h.counts[i].Load()
+	}
+	if inf != h.Count() {
+		t.Fatalf("+Inf bucket %d != count %d", inf, h.Count())
+	}
+	if math.Abs(h.Sum()-sum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), sum)
+	}
+}
+
+// TestConcurrentScrapeDuringMutation hammers every instrument kind from
+// writer goroutines while scrapers run WriteText — the -race guarantee
+// that a scrape never tears or blocks recordings.
+func TestConcurrentScrapeDuringMutation(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("writes_total", "writes", "worker")
+	gv := r.GaugeVec("depth", "depth", "worker")
+	hv := r.HistogramVec("lat", "latency", []float64{0.01, 0.1, 1}, "worker")
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			c, g, h := cv.With(name), gv.With(name), hv.With(name)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / perWriter)
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var scrapes sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scrapes.Add(1)
+		go func() {
+			defer scrapes.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Errorf("scrape: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	scrapes.Wait()
+	for w := 0; w < writers; w++ {
+		name := string(rune('a' + w))
+		if got := cv.With(name).Value(); got != perWriter {
+			t.Errorf("worker %s counter = %d, want %d", name, got, perWriter)
+		}
+		if got := hv.With(name).Count(); got != perWriter {
+			t.Errorf("worker %s histogram count = %d, want %d", name, got, perWriter)
+		}
+	}
+}
+
+// TestNilSafety is the disabled-mode contract: instruments resolved from
+// a nil registry are nil, recording on them is a no-op, and none of it
+// allocates.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	cv := r.CounterVec("cv", "", "l")
+	hv := r.HistogramVec("hv", "", nil, "l")
+	if c != nil || g != nil || h != nil || cv != nil || hv != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	if cv.With("x") != nil || hv.With("x") != nil {
+		t.Fatal("nil Vec handed out live children")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments report nonzero values")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(7)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-instrument recording allocates %v per run, want 0", allocs)
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WriteText: %v", err)
+	}
+}
+
+// TestLiveRecordingAllocs: the enabled hot path must not allocate either —
+// the <2% overhead target is atomic adds, not garbage.
+func TestLiveRecordingAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(3)
+		g.Set(9)
+		h.Observe(0.25)
+	})
+	if allocs != 0 {
+		t.Fatalf("live recording allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for _, bad := range [][3]float64{{0, 2, 4}, {1, 1, 4}, {1, 2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ExpBuckets(%v) did not panic", bad)
+				}
+			}()
+			ExpBuckets(bad[0], bad[1], int(bad[2]))
+		}()
+	}
+}
+
+func TestFamilyConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestVecArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("v", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}

@@ -57,6 +57,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/exec"
+	"repro/internal/metrics"
 )
 
 // ErrClosed is reported by Push and Flush after Close.
@@ -126,6 +127,31 @@ type Config struct {
 	// observed after the cancellation are abandoned with their callbacks
 	// fired Err-set. nil means never cancelled.
 	Context context.Context
+	// Gauges are the live introspection hooks; the zero value records
+	// nothing (see Gauges).
+	Gauges Gauges
+}
+
+// Gauges are the pipeline's live introspection hooks, fed from the seal
+// and dispatch paths. Every field is nil-safe (recording on a nil
+// instrument is free), so the zero value means "uninstrumented" and the
+// pipeline records unconditionally. The dsu layer resolves these from
+// its per-tenant metrics registry when a tenant is instrumented.
+type Gauges struct {
+	// Active counts open pipelines: Inc at New, Dec when Close begins.
+	Active *metrics.Gauge
+	// InFlight counts sealed batches past the accumulator — waiting in
+	// the dispatch channel, blocked in the backpressure send, or
+	// executing. When it sits at MaxInFlight, producers are blocked in
+	// Push: the saturation signal.
+	InFlight *metrics.Gauge
+	// Executing counts batches currently inside Exec; InFlight minus
+	// Executing is the sealed-batch queue depth.
+	Executing *metrics.Gauge
+	// Recycled counts buffers returned through the free list — when it
+	// stops tracking batch count, the free list is overflowing and
+	// steady-state ingestion is allocating.
+	Recycled *metrics.Counter
 }
 
 // sealed is one batch in flight between the accumulator and dispatcher.
@@ -143,6 +169,7 @@ type Pipeline struct {
 	cb   func(Result)
 	ctx  context.Context
 	size int
+	g    Gauges
 
 	mu     sync.Mutex
 	buf    []exec.Edge
@@ -191,11 +218,13 @@ func New(run Exec, cfg Config) *Pipeline {
 		cb:      cfg.Callback,
 		ctx:     ctx,
 		size:    size,
+		g:       cfg.Gauges,
 		buf:     make([]exec.Edge, 0, size),
 		batches: make(chan sealed, capacity),
 		free:    make(chan []exec.Edge, inflight+1),
 		done:    make(chan struct{}),
 	}
+	p.g.Active.Inc()
 	var wg sync.WaitGroup
 	wg.Add(dispatchers)
 	for i := 0; i < dispatchers; i++ {
@@ -276,6 +305,10 @@ func (p *Pipeline) Flush(opts any) error {
 // why Config.Callback forbids re-entrant calls.
 func (p *Pipeline) sealLocked(opts any) {
 	p.nextID++
+	// Inc before the (possibly blocking) send: a batch stuck in the
+	// backpressure send is in flight from the producer's point of view,
+	// which is exactly when the gauge pinned at MaxInFlight matters.
+	p.g.InFlight.Inc()
 	p.batches <- sealed{id: p.nextID, edges: p.buf, opts: opts}
 	select {
 	case b := <-p.free:
@@ -296,6 +329,7 @@ func (p *Pipeline) Close() error {
 	p.mu.Lock()
 	if !p.closed {
 		p.closed = true
+		p.g.Active.Dec()
 		if len(p.buf) > 0 {
 			p.sealLocked(nil)
 		}
@@ -314,7 +348,9 @@ func (p *Pipeline) Close() error {
 // deliver callbacks, recycle buffers.
 func (p *Pipeline) dispatch() {
 	for b := range p.batches {
+		p.g.Executing.Inc()
 		res := p.runBatch(b)
+		p.g.Executing.Dec()
 		res.ID = b.id
 		res.Edges = len(b.edges)
 		if p.cb != nil {
@@ -322,8 +358,10 @@ func (p *Pipeline) dispatch() {
 			p.cb(res)
 			p.cbmu.Unlock()
 		}
+		p.g.InFlight.Dec()
 		select {
 		case p.free <- b.edges[:0]:
+			p.g.Recycled.Inc()
 		default: // free list full; let the buffer go to the GC
 		}
 	}

@@ -69,8 +69,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/dsu"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -103,12 +105,21 @@ type Config struct {
 	// Logf, when non-nil, receives one line per request and per stream
 	// lifecycle event.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, instruments the front end onto the same
+	// registry that carries the dsu per-tenant series (pass the same
+	// *dsu.Metrics given to dsu.WithMetrics), so one /metrics scrape
+	// covers the whole stack: request latency by endpoint/encoding/
+	// status, active streams, wire frames and bytes in/out, decode
+	// errors, and per-tenant RPC budget pressure. Nil leaves the server
+	// uninstrumented at zero cost.
+	Metrics *dsu.Metrics
 }
 
 // Server is the HTTP front end. Create with New; it is an http.Handler.
 type Server struct {
 	cfg  Config
 	reg  *dsu.Registry
+	m    *serverMetrics // nil when uninstrumented
 	stop chan struct{}
 	once sync.Once
 	sems sync.Map // tenant name → chan struct{} (RPC in-flight budget)
@@ -129,7 +140,11 @@ func New(cfg Config) *Server {
 	if cfg.MaxN <= 0 {
 		cfg.MaxN = 1 << 26
 	}
-	return &Server{cfg: cfg, reg: cfg.Registry, stop: make(chan struct{})}
+	s := &Server{cfg: cfg, reg: cfg.Registry, stop: make(chan struct{})}
+	if cfg.Metrics != nil {
+		s.m = newServerMetrics(cfg.Metrics.Registry())
+	}
+	return s
 }
 
 // Stop begins shutdown: open stream connections have their contexts
@@ -239,7 +254,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// ServeHTTP routes the request; when the server is instrumented it also
+// times the whole exchange into the latency histogram, labeled by
+// endpoint class, wire encoding, and final HTTP status.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.m == nil {
+		s.route(w, r)
+		return
+	}
+	start := time.Now()
+	sr := &statusRecorder{ResponseWriter: w}
+	s.route(sr, r)
+	s.m.latency.With(endpointOf(r.URL.Path), encodingOf(r), strconv.Itoa(sr.status())).
+		Observe(time.Since(start).Seconds())
+}
+
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	path := r.URL.Path
 	switch {
 	case path == "/healthz":
@@ -362,11 +392,13 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
 		return
 	}
-	env, err := wire.NewDecoder(r.Body, format, s.cfg.MaxFrame).Decode()
+	env, err := wire.NewDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame).Decode()
 	if err != nil {
+		s.decodeError()
 		http.Error(w, "bad frame: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.frameIn()
 	if env.Kind != want {
 		http.Error(w, fmt.Sprintf("endpoint wants %v envelopes, got %v", want, env.Kind), http.StatusBadRequest)
 		return
@@ -385,19 +417,40 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 		default:
 		}
 	} else {
-		sem := s.sem(u.Name())
 		select {
-		case sem <- struct{}{}:
-			defer func() { <-sem }()
-		case <-r.Context().Done():
-			http.Error(w, "client went away", http.StatusRequestTimeout)
-			return
 		case <-s.stop:
 			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 			return
+		default:
 		}
+		sem := s.sem(u.Name())
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Budget full: the saturation counter records the event —
+			// dsu_server_rpc_waits_total climbing is the signal to raise
+			// MaxInFlight or split the tenant — then wait like before.
+			if s.m != nil {
+				s.m.rpcWaits.With(u.Name()).Inc()
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-r.Context().Done():
+				http.Error(w, "client went away", http.StatusRequestTimeout)
+				return
+			case <-s.stop:
+				http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		defer func() { <-sem }()
 	}
 
+	var inflight *metrics.Gauge // nil-safe when uninstrumented
+	if s.m != nil {
+		inflight = s.m.rpcInFlight.With(u.Name())
+	}
+	inflight.Inc()
 	var rep dsu.BatchReply
 	var execErr error
 	switch want {
@@ -406,13 +459,18 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 	case wire.KindQuery:
 		rep, execErr = u.SameSetAll(*env.Query)
 	}
+	inflight.Dec()
 	w.Header().Set("Content-Type", format.ContentType())
-	enc := wire.NewEncoder(w, format)
+	enc := wire.NewEncoder(s.wireWriter(w), format)
 	if execErr != nil {
-		_ = enc.Encode(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: execErr.Error()})
+		if enc.Encode(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: execErr.Error()}) == nil {
+			s.frameOut()
+		}
 		return
 	}
-	_ = enc.Encode(&wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep})
+	if enc.Encode(&wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep}) == nil {
+		s.frameOut()
+	}
 }
 
 // streamEdgeCap converts the frame limit into a sane ceiling for
@@ -430,6 +488,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 	if !ok {
 		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
 		return
+	}
+	if s.m != nil {
+		s.m.streams.Inc()
+		defer s.m.streams.Dec()
 	}
 
 	// Connection-level stream tuning from query parameters, clamped to the
@@ -481,12 +543,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 
-	enc := wire.NewEncoder(w, format)
+	enc := wire.NewEncoder(s.wireWriter(w), format)
 	var wmu sync.Mutex // OnBatch (dispatcher goroutine) vs. this handler
 	write := func(env *wire.Envelope) {
 		wmu.Lock()
 		defer wmu.Unlock()
 		if err := enc.Encode(env); err == nil {
+			s.frameOut()
 			_ = rc.Flush()
 		}
 	}
@@ -523,9 +586,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 	}
 	frames := make(chan decoded)
 	go func() {
-		dec := wire.NewDecoder(r.Body, format, s.cfg.MaxFrame)
+		dec := wire.NewDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame)
 		for {
 			env, err := dec.Decode()
+			if err == nil {
+				s.frameIn()
+			} else if err != io.EOF {
+				s.decodeError()
+			}
 			select {
 			case frames <- decoded{env, err}:
 				if err != nil {

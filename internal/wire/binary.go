@@ -16,7 +16,8 @@ import (
 // 8-byte big-endian sequence number; the body depends on the kind.
 //
 //	unite/query  [workers i32][grain i32][find u8][flags u8][edges: X u32, Y u32 ...]
-//	reply        [merged i64][filtered i64][elapsed i64][stats 10×i64][find u8][flags u8]
+//	reply        [merged i64][filtered i64][casretries i64][elapsed i64][stats 10×i64]
+//	             [find u8][flags u8]
 //	             [answer count u32][answer bitset]        (count+bitset only when flags bit0)
 //	error        [utf-8 message]
 //	end          [batches u64][edges i64][merged i64][filtered i64][failed u64][utf-8 close error]
@@ -36,7 +37,7 @@ const (
 	binMetaLen   = 1 + 8 // kind + seq
 	binOptsLen   = 4 + 4 + 1 + 1
 	binStatsLen  = 10 * 8
-	binReplyLen  = 8 + 8 + 8 + binStatsLen + 1 + 1
+	binReplyLen  = 8 + 8 + 8 + 8 + binStatsLen + 1 + 1
 	binEndLen    = 8 + 8 + 8 + 8 + 8
 )
 
@@ -116,6 +117,7 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 		}
 		b = binary.BigEndian.AppendUint64(b, uint64(rep.Merged))
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(rep.Filtered)))
+		b = binary.BigEndian.AppendUint64(b, uint64(rep.CASRetries))
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(rep.Elapsed)))
 		b = appendStats(b, rep.Stats)
 		b = append(b, byte(rep.Find))
@@ -276,13 +278,14 @@ func parseReply(body []byte) (*dsu.BatchReply, error) {
 		return nil, fmt.Errorf("%w: reply body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binReplyLen)
 	}
 	rep := &dsu.BatchReply{
-		Merged:   int64(binary.BigEndian.Uint64(body[0:8])),
-		Filtered: int(int64(binary.BigEndian.Uint64(body[8:16]))),
-		Elapsed:  time.Duration(binary.BigEndian.Uint64(body[16:24])),
-		Stats:    parseStats(body[24 : 24+binStatsLen]),
-		Find:     dsu.FindStrategy(body[24+binStatsLen]),
+		Merged:     int64(binary.BigEndian.Uint64(body[0:8])),
+		Filtered:   int(int64(binary.BigEndian.Uint64(body[8:16]))),
+		CASRetries: int64(binary.BigEndian.Uint64(body[16:24])),
+		Elapsed:    time.Duration(binary.BigEndian.Uint64(body[24:32])),
+		Stats:      parseStats(body[32 : 32+binStatsLen]),
+		Find:       dsu.FindStrategy(body[32+binStatsLen]),
 	}
-	hasAnswers := body[24+binStatsLen+1]
+	hasAnswers := body[32+binStatsLen+1]
 	rest := body[binReplyLen:]
 	switch hasAnswers {
 	case 0:

@@ -52,10 +52,11 @@ func randomEnvelope(rng *rand.Rand) *Envelope {
 	case 3:
 		env.Kind = KindReply
 		rep := &dsu.BatchReply{
-			Merged:   rng.Int63() - rng.Int63(),
-			Filtered: rng.Intn(1000),
-			Find:     dsu.FindStrategy(rng.Intn(6)),
-			Elapsed:  time.Duration(rng.Int63n(1 << 40)),
+			Merged:     rng.Int63() - rng.Int63(),
+			Filtered:   rng.Intn(1000),
+			Find:       dsu.FindStrategy(rng.Intn(6)),
+			CASRetries: rng.Int63n(1 << 30),
+			Elapsed:    time.Duration(rng.Int63n(1 << 40)),
 			Stats: core.Stats{
 				Reads: rng.Int63n(1 << 30), CASAttempts: rng.Int63n(1 << 30), CASFailures: rng.Int63n(1 << 20),
 				FindSteps: rng.Int63n(1 << 30), Rounds: rng.Int63n(1 << 20), Finds: rng.Int63n(1 << 30),
