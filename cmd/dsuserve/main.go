@@ -24,9 +24,17 @@
 // batch-latency histograms, stream gauges) and the server series
 // (request latency, active streams, wire frames/bytes, budget pressure)
 // on one page — plus a per-tenant totals line in the shutdown log. With
-// -pprof it additionally mounts net/http/pprof under /debug/pprof/ and
-// expvar under /debug/vars. Both are off by default: observability is
-// opt-in, and the uninstrumented hot path pays nothing.
+// -trace every batch records a span tree (queue-wait, seal, dispatch,
+// execute with per-worker attribution, reply-encode) into a per-tenant
+// ring served as JSON on /debug/traces; batches slower than -trace-slow
+// are retained in a flight recorder beyond the ring's churn. With -pprof
+// it additionally mounts net/http/pprof under /debug/pprof/ and expvar
+// under /debug/vars. All are off by default: observability is opt-in,
+// and the uninstrumented hot path pays nothing.
+//
+// Logs are structured (log/slog): lifecycle events at Info, per-RPC
+// lines carrying tenant, endpoint, and trace ID at Debug (suppressed by
+// -quiet). -log-format selects the text or JSON handler.
 //
 // On SIGINT/SIGTERM the server shuts down cleanly: open stream
 // connections have their contexts cancelled (clients receive
@@ -40,7 +48,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -87,71 +95,109 @@ func parseTenant(spec string) (server.TenantSpec, error) {
 	return out, nil
 }
 
+// newLogger builds the process logger: text or JSON handler on stderr,
+// Debug level unless quiet (per-RPC lines ride at Debug).
+func newLogger(format string, quiet bool) (*slog.Logger, error) {
+	lvl := slog.LevelDebug
+	if quiet {
+		lvl = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q: want text or json", format)
+	}
+}
+
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		tenants  tenantFlags
-		maxFrame = flag.Int("maxframe", 0, "wire frame size limit in bytes (0 = 16 MiB)")
-		inflight = flag.Int("inflight", 4, "per-tenant in-flight batch bound")
-		buffer   = flag.Int("buffer", 0, "default stream seal threshold in edges (0 = 65536)")
-		maxN     = flag.Int("maxn", 0, "largest universe a remote create may request (0 = 2²⁶)")
-		drain    = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
-		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
-		withMet  = flag.Bool("metrics", false, "instrument tenants and the server; serve Prometheus text on /metrics")
-		withProf = flag.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/ and expvar on /debug/vars")
+		addr      = flag.String("addr", ":8080", "listen address")
+		tenants   tenantFlags
+		maxFrame  = flag.Int("maxframe", 0, "wire frame size limit in bytes (0 = 16 MiB)")
+		inflight  = flag.Int("inflight", 4, "per-tenant in-flight batch bound")
+		buffer    = flag.Int("buffer", 0, "default stream seal threshold in edges (0 = 65536)")
+		maxN      = flag.Int("maxn", 0, "largest universe a remote create may request (0 = 2²⁶)")
+		drain     = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+		quiet     = flag.Bool("quiet", false, "suppress per-request (Debug) logging")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		withMet   = flag.Bool("metrics", false, "instrument tenants and the server; serve Prometheus text on /metrics")
+		withTrace = flag.Bool("trace", false, "trace every batch into per-tenant rings; serve JSON on /debug/traces")
+		traceSlow = flag.Duration("trace-slow", 0, "flight-recorder latency threshold with -trace (0 = 100ms)")
+		withProf  = flag.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/ and expvar on /debug/vars")
 	)
 	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:kind[:find]] (repeatable)")
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsuserve: %v\n", err)
+		os.Exit(1)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	var met *dsu.Metrics
+	var tracing *dsu.Tracing
 	var regOpts []dsu.RegistryOption
 	if *withMet {
 		met = dsu.NewMetrics()
 		regOpts = append(regOpts, dsu.WithMetrics(met))
 	}
+	if *withTrace {
+		tracing = dsu.NewTracing(dsu.WithSlowThreshold(*traceSlow))
+		regOpts = append(regOpts, dsu.WithTracing(tracing))
+	}
 	reg := dsu.NewRegistry(regOpts...)
 	for _, spec := range tenants {
 		ts, err := parseTenant(spec)
 		if err != nil {
-			log.Fatalf("dsuserve: %v", err)
+			fatal("bad tenant flag", "err", err)
 		}
 		// The same spec→option translation remote creates use, so
 		// preloaded and remotely created tenants cannot drift.
 		opts, err := ts.Options()
 		if err != nil {
-			log.Fatalf("dsuserve: tenant %q: %v", ts.Name, err)
+			fatal("bad tenant spec", "tenant", ts.Name, "err", err)
 		}
 		u, err := reg.Create(ts.Name, ts.N, opts...)
 		if err != nil {
-			log.Fatalf("dsuserve: tenant %q: %v", ts.Name, err)
+			fatal("tenant create failed", "tenant", ts.Name, "err", err)
 		}
-		log.Printf("tenant %q ready: n=%d kind=%s shards=%d adaptive=%v",
-			u.Name(), u.N(), u.Kind(), u.Shards(), u.Adaptive())
+		logger.Info("tenant ready", "tenant", u.Name(), "n", u.N(),
+			"kind", u.Kind(), "shards", u.Shards(), "adaptive", u.Adaptive())
 	}
 
-	cfg := server.Config{
+	srv := server.New(server.Config{
 		Registry:     reg,
 		MaxFrame:     *maxFrame,
 		MaxInFlight:  *inflight,
 		StreamBuffer: *buffer,
 		MaxN:         *maxN,
 		Metrics:      met,
-	}
-	if !*quiet {
-		cfg.Logf = log.Printf
-	}
-	srv := server.New(cfg)
+		Log:          logger,
+	})
 
 	// The API stays at /; the observability endpoints mount beside it only
 	// when asked for, and never on http.DefaultServeMux — what this process
 	// serves is exactly what its flags say.
 	var handler http.Handler = srv
-	if *withMet || *withProf {
+	if *withMet || *withTrace || *withProf {
 		mux := http.NewServeMux()
 		mux.Handle("/", srv)
 		if *withMet {
 			mux.Handle("/metrics", met)
-			log.Printf("metrics enabled: /metrics")
+			logger.Info("metrics enabled", "endpoint", "/metrics")
+		}
+		if *withTrace {
+			mux.Handle("/debug/traces", tracing)
+			logger.Info("tracing enabled", "endpoint", "/debug/traces",
+				"slow_threshold", tracing.SlowThreshold())
 		}
 		if *withProf {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -160,7 +206,7 @@ func main() {
 			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 			mux.Handle("/debug/vars", expvar.Handler())
-			log.Printf("profiling enabled: /debug/pprof/ /debug/vars")
+			logger.Info("profiling enabled", "endpoints", "/debug/pprof/ /debug/vars")
 		}
 		handler = mux
 	}
@@ -168,7 +214,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("dsuserve listening on %s (%d tenants preloaded)", *addr, reg.Len())
+		logger.Info("listening", "addr", *addr, "tenants", reg.Len())
 		errCh <- hs.ListenAndServe()
 	}()
 
@@ -176,9 +222,9 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errCh:
-		log.Fatalf("dsuserve: %v", err)
+		fatal("serve failed", "err", err)
 	case s := <-sig:
-		log.Printf("dsuserve: %v — draining (%v budget)", s, *drain)
+		logger.Info("draining", "signal", s.String(), "budget", *drain)
 	}
 
 	// Stop cancels stream contexts so open connections end ingestion
@@ -188,8 +234,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("dsuserve: shutdown: %v", err)
-		os.Exit(1)
+		fatal("shutdown failed", "err", err)
 	}
 	// One totals line per tenant — the lifetime accounting a scraper would
 	// have read from /metrics, preserved in the shutdown log.
@@ -200,10 +245,12 @@ func main() {
 				continue
 			}
 			tm := u.Metrics()
-			log.Printf("tenant %q totals: unite_batches=%d unite_edges=%d merged=%d filtered=%d query_batches=%d query_pairs=%d find_steps=%d cas_retries=%d sets=%d",
-				name, tm.UniteBatches, tm.UniteEdges, tm.Merged, tm.Filtered,
-				tm.QueryBatches, tm.QueryPairs, tm.FindSteps, tm.CASRetries, u.Sets())
+			logger.Info("tenant totals", "tenant", name,
+				"unite_batches", tm.UniteBatches, "unite_edges", tm.UniteEdges,
+				"merged", tm.Merged, "filtered", tm.Filtered,
+				"query_batches", tm.QueryBatches, "query_pairs", tm.QueryPairs,
+				"find_steps", tm.FindSteps, "cas_retries", tm.CASRetries, "sets", u.Sets())
 		}
 	}
-	log.Printf("dsuserve: bye")
+	logger.Info("bye")
 }

@@ -40,6 +40,19 @@
 // All structure kinds implement the common Backend interface and can be
 // created by name through Registry/Universe with WithKind (flat, sharded,
 // lockfree) — the tenant vocabulary the network front end serves.
+//
+// Observability is opt-in and free when off. WithMetrics attaches a
+// Metrics registry (per-tenant counters, latency histograms, Prometheus
+// text exposition); WithTracing attaches a Tracing registry that records
+// a span tree for every batch — queue-wait, seal, dispatch, execute with
+// per-worker attribution, reply-encode — into per-tenant rings plus a
+// slow-batch flight recorder, readable via Universe.Traces and
+// Universe.SlowTraces or served as JSON (Tracing is an http.Handler).
+// Trace context propagates across the wire protocol, so a remote
+// client's batch and the server's work connect into one trace. Both
+// layers ride the same execution seams: every ingestion path is covered
+// with zero caller involvement, and the uninstrumented hot path pays
+// one nil check.
 package dsu
 
 import (

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/pipeline"
+	"repro/internal/tracespan"
 )
 
 // BatchResult reports one executed stream batch to the OnBatch callback:
@@ -154,12 +155,14 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 	}
 	s := &Stream{defaults: cfg.defaults}
 	x := u.b.executor()
-	run := func(edges []exec.Edge, o any) pipeline.Result {
+	run := func(edges []exec.Edge, o any, tr *tracespan.Trace) pipeline.Result {
 		bopts := s.defaults
 		if extra, ok := o.([]BatchOption); ok && len(extra) > 0 {
 			bopts = append(append([]BatchOption{}, s.defaults...), extra...)
 		}
-		return pipeline.Result{Result: x.UniteAll(edges, batchConfig(x.Seed(), bopts))}
+		bcfg := batchConfig(x.Seed(), bopts)
+		bcfg.Trace = tr
+		return pipeline.Result{Result: x.UniteAll(edges, bcfg)}
 	}
 	_, concurrentOK := u.b.(ConcurrentBackend)
 	s.p = pipeline.New(run, pipeline.Config{
@@ -167,7 +170,8 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 		MaxInFlight: cfg.inflight,
 		Concurrent:  cfg.concurrent && concurrentOK,
 		Context:     cfg.ctx,
-		Gauges:      u.sg, // zero (recording nothing) when uninstrumented
+		Gauges:      u.sg,  // zero (recording nothing) when uninstrumented
+		Tracer:      u.rec, // nil (untraced) when tracing is off
 		Callback: func(r pipeline.Result) {
 			s.batches.Add(1)
 			s.edges.Add(int64(r.Edges))
@@ -190,6 +194,18 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 // MaxInFlight batches ahead of the dispatcher and returns ErrStreamClosed
 // after Close. Edges are copied before Push returns.
 func (s *Stream) Push(edges ...Edge) error { return s.p.Push(edges...) }
+
+// PushLinked is Push carrying a remote trace context: on a traced
+// universe, the batch these edges land in adopts the link's trace ID
+// (first link wins for a batch — later frames accumulating into the same
+// batch keep the established identity), so the span tree recorded here
+// carries the identity the remote client chose. A zero link makes
+// PushLinked exactly Push; on an untraced universe links are ignored.
+// The network front end threads each traced stream frame's context
+// through here.
+func (s *Stream) PushLinked(link TraceContext, edges ...Edge) error {
+	return s.p.PushLinked(link, edges...)
+}
 
 // Flush seals the current buffer even below the threshold. Options, if
 // given, override the stream's WithBatchOptions defaults for this batch

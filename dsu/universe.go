@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/pipeline"
+	"repro/internal/tracespan"
 )
 
 // A Universe is the tenant-scoped view of one disjoint-set structure: a
@@ -38,6 +39,10 @@ type Universe struct {
 	// this universe feed them (the executor-side instruments live on the
 	// backend's execution seam and need no per-universe state).
 	sg pipeline.Gauges
+	// rec is the tenant's trace recorder, resolved by EnableTracing; nil
+	// (the default) disables tracing — every batch path nil-checks once
+	// and records nothing.
+	rec *tracespan.Recorder
 }
 
 // NewUniverse wraps an existing structure as a named universe — for
@@ -331,7 +336,15 @@ func (u *Universe) UniteAll(req UniteRequest) (BatchReply, error) {
 	if err := validatePairs("edge", req.Edges, u.b.N()); err != nil {
 		return BatchReply{}, err
 	}
-	return replyOf(nil, u.b.executor().UniteAll(req.Edges, cfg)), nil
+	tr := u.rec.Start(tracespan.OpUnite, tracespan.SourceBlocking)
+	cfg.Trace = tr
+	rep := replyOf(nil, u.b.executor().UniteAll(req.Edges, cfg))
+	if a := tr.Attrs(tracespan.Root); a != nil {
+		a.Edges = int64(len(req.Edges))
+		a.Merged = rep.Merged
+	}
+	u.rec.Finish(tr)
+	return rep, nil
 }
 
 // SameSetAll answers the request's pairs into the reply's Answers slice
@@ -347,8 +360,15 @@ func (u *Universe) SameSetAll(req QueryRequest) (BatchReply, error) {
 	if err := validatePairs("pair", req.Pairs, u.b.N()); err != nil {
 		return BatchReply{}, err
 	}
+	tr := u.rec.Start(tracespan.OpQuery, tracespan.SourceBlocking)
+	cfg.Trace = tr
 	out, res := u.b.executor().SameSetAll(req.Pairs, cfg)
-	return replyOf(out, res), nil
+	rep := replyOf(out, res)
+	if a := tr.Attrs(tracespan.Root); a != nil {
+		a.Edges = int64(len(req.Pairs))
+	}
+	u.rec.Finish(tr)
+	return rep, nil
 }
 
 // ParseFindStrategy maps a wire- or flag-friendly name to its
@@ -408,6 +428,10 @@ type Registry struct {
 	// metrics, when non-nil, instruments every universe Create builds
 	// (WithMetrics): per-tenant series resolved under the tenant's name.
 	metrics *Metrics
+	// tracing, when non-nil, traces every universe Create builds
+	// (WithTracing): per-tenant trace recorders resolved under the
+	// tenant's name.
+	tracing *Tracing
 }
 
 // RegistryOption configures NewRegistry.
@@ -439,6 +463,10 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 // Metrics returns the attached instrumentation registry, nil when the
 // registry is uninstrumented.
 func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Tracing returns the attached tracing registry, nil when the registry
+// is untraced.
+func (r *Registry) Tracing() *Tracing { return r.tracing }
 
 // Create builds a new universe under name and registers it. The structure
 // kind is chosen by the option vocabulary: an explicit WithKind wins;
@@ -516,7 +544,8 @@ func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error)
 		b = New(n, opts...)
 	}
 	u := &Universe{name: name, b: b}
-	u.Instrument(r.metrics) // no-op when uninstrumented
+	u.Instrument(r.metrics)    // no-op when uninstrumented
+	u.EnableTracing(r.tracing) // no-op (nil recorder) when untraced
 	r.m[name] = u
 	return u, nil
 }
@@ -537,6 +566,9 @@ func (r *Registry) Drop(name string) bool {
 	defer r.mu.Unlock()
 	_, ok := r.m[name]
 	delete(r.m, name)
+	if ok {
+		r.tracing.drop(name)
+	}
 	return ok
 }
 

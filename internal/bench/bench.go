@@ -102,14 +102,13 @@ func All() []Experiment {
 		{"E19", "Sharded DSU vs flat engine", "systems extension; ROADMAP sharding item, Fedorov et al. 2023", runE19},
 		{"E20", "Stream vs blocking-batch ingestion", "systems extension; ROADMAP async-pipelines item, Alistarh et al. 2019", runE20},
 		{"E21", "Adaptive vs fixed find variants across mutate/query phases", "systems extension; ROADMAP batch-aware compaction item, Alistarh et al. 2019", runE21},
-		// E22 is reserved for the wire-throughput measurement (ROADMAP,
-		// "Production front-end hardening + E22 measurement").
+		{"E22", "Wire-protocol throughput: remote vs in-process batches", "systems extension; ROADMAP wire-measurement item", runE22},
 		{"E23", "Lock-free backend vs flat and sharded", "Jayanti–Tarjan Section 3; systems extension, ROADMAP lock-free item", runE23},
 	}
 }
 
 // aliases maps friendly experiment names to IDs, for the CLI.
-var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "lockfree": "E23"}
+var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "wire": "E22", "lockfree": "E23"}
 
 // ByID returns the experiment with the given ID or alias, matched
 // case-insensitively so `-exp e19` and `-exp E19` name the same table.

@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registered %d experiments, want 22 (E1–E21 and E23)", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registered %d experiments, want 23 (E1–E23)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -41,6 +41,9 @@ func TestByID(t *testing.T) {
 	}
 	if e, ok := ByID("adapt"); !ok || e.ID != "E21" {
 		t.Fatal("ByID(adapt) should alias E21")
+	}
+	if e, ok := ByID("wire"); !ok || e.ID != "E22" {
+		t.Fatal("ByID(wire) should alias E22")
 	}
 	if e, ok := ByID("lockfree"); !ok || e.ID != "E23" {
 		t.Fatal("ByID(lockfree) should alias E23")

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/tracespan"
 )
 
 // Edge is one (X, Y) element pair of a batch: an edge to unite across, or
@@ -84,6 +85,13 @@ type Config struct {
 	// (they see only an opaque Target — the Backend implementations resolve
 	// it).
 	Find core.Find
+	// Trace, when non-nil, is the batch's span tree: the Executor records
+	// an execute span around the backend call, synthesizes filter and
+	// per-worker sub-spans from the Result's accounting, and attributes
+	// the lock-free path's CASRetries. Nil (the default, and the disabled
+	// mode) records nothing — every tracespan method is a nil-safe no-op,
+	// so untraced batches pay only a nil check.
+	Trace *tracespan.Trace
 }
 
 // Result reports what one batch run did, across every execution path. The

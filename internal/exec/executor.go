@@ -1,5 +1,7 @@
 package exec
 
+import "repro/internal/tracespan"
+
 // Executor is the one funnel every dsu batch path routes through: blocking
 // UniteAll/SameSetAll calls, the stream dispatcher, and the filter paths
 // all drive the same Executor, so per-batch policy lives here exactly
@@ -46,7 +48,10 @@ func (e *Executor) Estimator() *Estimator { return e.est }
 // explicitly): compacting variants are what flatten the forest, and the
 // estimator learns how much this batch churned it.
 func (e *Executor) UniteAll(edges []Edge, cfg Config) Result {
+	ex := cfg.Trace.Start(tracespan.StageExecute, tracespan.Root)
 	res := e.b.UniteAll(edges, cfg)
+	cfg.Trace.End(ex)
+	traceExecute(cfg.Trace, ex, len(edges), &res)
 	if e.est != nil && len(edges) > 0 {
 		e.est.ObserveMutate(res.Find, res.Stats(), len(edges), res.Merged)
 	}
@@ -64,7 +69,10 @@ func (e *Executor) SameSetAll(pairs []Edge, cfg Config) ([]bool, Result) {
 	if e.est != nil && cfg.Find == 0 {
 		cfg.Find = e.est.Pick(e.b.CoreConfig().Find)
 	}
+	ex := cfg.Trace.Start(tracespan.StageExecute, tracespan.Root)
 	out, res := e.b.SameSetAll(pairs, cfg)
+	cfg.Trace.End(ex)
+	traceExecute(cfg.Trace, ex, len(pairs), &res)
 	if e.est != nil && len(pairs) > 0 {
 		e.est.ObserveQuery(res.Find, res.Stats())
 	}

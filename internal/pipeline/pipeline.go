@@ -58,6 +58,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 )
 
 // ErrClosed is reported by Push and Flush after Close.
@@ -84,14 +85,22 @@ type Result struct {
 	// before execution) or its Exec panicked; the batch's edges did not
 	// (fully) reach the structure.
 	Err error
+	// Trace is the batch's span tree when the pipeline is traced
+	// (Config.Tracer set), nil otherwise. The callback runs before the
+	// trace is finished, so a callback may still add spans — the server's
+	// reply-encode stage does — but must not retain the trace past its
+	// return.
+	Trace *tracespan.Trace
 }
 
 // Exec runs one sealed batch against the backing structure and reports
 // what it did. opts is the opaque per-batch override payload a caller
 // passed to Flush (nil for size-triggered seals); the dsu layer threads
-// its batch options through it. Exec runs on the dispatcher goroutine;
-// panics are recovered into Result.Err.
-type Exec func(edges []exec.Edge, opts any) Result
+// its batch options through it. tr is the batch's trace (nil untraced);
+// the dsu layer threads it into exec.Config so the executor's spans land
+// in it. Exec runs on the dispatcher goroutine; panics are recovered
+// into Result.Err.
+type Exec func(edges []exec.Edge, opts any, tr *tracespan.Trace) Result
 
 // Config tunes one Pipeline.
 type Config struct {
@@ -130,6 +139,13 @@ type Config struct {
 	// Gauges are the live introspection hooks; the zero value records
 	// nothing (see Gauges).
 	Gauges Gauges
+	// Tracer, when non-nil, traces every sealed batch: a trace starts
+	// when the first edge enters an empty buffer (opening the seal span),
+	// queue-wait and dispatch spans bracket the handoff, and the finished
+	// tree is recorded after the callback returns. Nil means untraced —
+	// the pipeline then never allocates a trace and every span call is a
+	// nil no-op.
+	Tracer *tracespan.Recorder
 }
 
 // Gauges are the pipeline's live introspection hooks, fed from the seal
@@ -159,22 +175,30 @@ type sealed struct {
 	id    uint64
 	edges []exec.Edge
 	opts  any
+	tr    *tracespan.Trace  // the batch's trace (nil untraced)
+	qw    tracespan.SpanRef // its open queue-wait span
 }
 
 // Pipeline is the streaming ingestion front. Push, Flush, and Close are
 // safe for concurrent use by any number of producers; the zero value is
 // not usable, call New.
 type Pipeline struct {
-	exec Exec
-	cb   func(Result)
-	ctx  context.Context
-	size int
-	g    Gauges
+	exec   Exec
+	cb     func(Result)
+	ctx    context.Context
+	size   int
+	g      Gauges
+	tracer *tracespan.Recorder
 
 	mu     sync.Mutex
 	buf    []exec.Edge
 	nextID uint64
 	closed bool
+	// tr/seal are the active buffer's trace and its open seal span,
+	// started when the first edge lands in an empty buffer and handed to
+	// the dispatcher at seal (both nil/zero when untraced).
+	tr   *tracespan.Trace
+	seal tracespan.SpanRef
 
 	batches chan sealed      // sized so executing + waiting batches ≤ MaxInFlight
 	free    chan []exec.Edge // recycled buffers
@@ -219,6 +243,7 @@ func New(run Exec, cfg Config) *Pipeline {
 		ctx:     ctx,
 		size:    size,
 		g:       cfg.Gauges,
+		tracer:  cfg.Tracer,
 		buf:     make([]exec.Edge, 0, size),
 		batches: make(chan sealed, capacity),
 		free:    make(chan []exec.Edge, inflight+1),
@@ -248,12 +273,29 @@ func (p *Pipeline) BufferSize() int { return p.size }
 // MaxInFlight batches behind and returns ErrClosed after Close. Edges are
 // copied before Push returns; the caller may reuse its slice.
 func (p *Pipeline) Push(edges ...exec.Edge) error {
+	return p.PushLinked(tracespan.Context{}, edges...)
+}
+
+// PushLinked is Push carrying a remote trace context: when the pipeline
+// is traced, the batch the edges land in adopts the link's trace ID (the
+// first link a batch sees wins — later frames accumulating into the same
+// batch keep the established identity). An invalid (zero) link makes
+// PushLinked exactly Push; an untraced pipeline ignores links entirely.
+// The server's stream handler threads each traced frame's context
+// through here, which is how a remote client's trace ID ends up on the
+// span tree its edges execute under.
+func (p *Pipeline) PushLinked(link tracespan.Context, edges ...exec.Edge) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
 	for len(edges) > 0 {
+		if len(p.buf) == 0 && p.tracer != nil && p.tr == nil {
+			p.tr = p.tracer.Start(tracespan.OpUnite, tracespan.SourceStream)
+			p.seal = p.tr.Start(tracespan.StageSeal, tracespan.Root)
+		}
+		p.tr.Adopt(link)
 		take := p.size - len(p.buf)
 		if take > len(edges) {
 			take = len(edges)
@@ -305,11 +347,21 @@ func (p *Pipeline) Flush(opts any) error {
 // why Config.Callback forbids re-entrant calls.
 func (p *Pipeline) sealLocked(opts any) {
 	p.nextID++
+	tr, seal := p.tr, p.seal
+	p.tr, p.seal = nil, 0
+	tr.End(seal)
+	if a := tr.Attrs(tracespan.Root); a != nil {
+		a.Edges = int64(len(p.buf))
+	}
+	// The queue-wait span opens before the (possibly blocking) handoff:
+	// time spent in the backpressure send and in the channel is exactly
+	// what it measures; the dispatcher ends it on pickup.
+	qw := tr.Start(tracespan.StageQueueWait, tracespan.Root)
 	// Inc before the (possibly blocking) send: a batch stuck in the
 	// backpressure send is in flight from the producer's point of view,
 	// which is exactly when the gauge pinned at MaxInFlight matters.
 	p.g.InFlight.Inc()
-	p.batches <- sealed{id: p.nextID, edges: p.buf, opts: opts}
+	p.batches <- sealed{id: p.nextID, edges: p.buf, opts: opts, tr: tr, qw: qw}
 	select {
 	case b := <-p.free:
 		p.buf = b
@@ -348,16 +400,28 @@ func (p *Pipeline) Close() error {
 // deliver callbacks, recycle buffers.
 func (p *Pipeline) dispatch() {
 	for b := range p.batches {
+		b.tr.End(b.qw)
+		dsp := b.tr.Start(tracespan.StageDispatch, tracespan.Root)
 		p.g.Executing.Inc()
 		res := p.runBatch(b)
 		p.g.Executing.Dec()
+		b.tr.End(dsp)
 		res.ID = b.id
 		res.Edges = len(b.edges)
+		res.Trace = b.tr
+		if res.Err != nil {
+			if a := b.tr.Attrs(tracespan.Root); a != nil {
+				a.Err = res.Err.Error()
+			}
+		}
 		if p.cb != nil {
 			p.cbmu.Lock()
 			p.cb(res)
 			p.cbmu.Unlock()
 		}
+		// Finish after the callback: a callback may add spans (the
+		// server's reply-encode); once recorded the trace is immutable.
+		p.tracer.Finish(b.tr)
 		p.g.InFlight.Dec()
 		select {
 		case p.free <- b.edges[:0]:
@@ -380,5 +444,5 @@ func (p *Pipeline) runBatch(b sealed) (res Result) {
 			res = Result{Err: fmt.Errorf("pipeline: batch %d exec panicked: %v", b.id, r)}
 		}
 	}()
-	return p.exec(b.edges, b.opts)
+	return p.exec(b.edges, b.opts, b.tr)
 }

@@ -9,12 +9,13 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/tracespan"
 )
 
 // countingExec returns an Exec that tallies batches and edges and reports
 // every edge as merged, for callback-contract tests that need no DSU.
 func countingExec(batches, edges *atomic.Int64) Exec {
-	return func(b []exec.Edge, opts any) Result {
+	return func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		batches.Add(1)
 		edges.Add(int64(len(b)))
 		return Result{Result: exec.Result{Merged: int64(len(b))}}
@@ -72,7 +73,7 @@ func TestCallbackContract(t *testing.T) {
 // per-batch payload; empty flush is a no-op) and the ErrClosed contract.
 func TestFlushAndClosedErrors(t *testing.T) {
 	var payloads []any
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		payloads = append(payloads, opts)
 		return Result{}
 	}, Config{BufferSize: 100})
@@ -119,7 +120,7 @@ func TestFlushAndClosedErrors(t *testing.T) {
 func TestBackpressure(t *testing.T) {
 	gate := make(chan struct{})
 	var started atomic.Int64
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		started.Add(1)
 		<-gate
 		return Result{}
@@ -161,7 +162,7 @@ func TestContextAbort(t *testing.T) {
 	var execs atomic.Int64
 	var mu sync.Mutex
 	var got []Result
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		execs.Add(1)
 		return Result{Result: exec.Result{Merged: 1}}
 	}, Config{BufferSize: 2, Context: ctx, Callback: func(r Result) {
@@ -211,7 +212,7 @@ func TestLateCancelIsNotAnError(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var mu sync.Mutex
 	var results []Result
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		return Result{Result: exec.Result{Merged: int64(len(b))}}
 	}, Config{BufferSize: 2, Context: ctx, Callback: func(r Result) {
 		mu.Lock()
@@ -244,7 +245,7 @@ func TestLateCancelIsNotAnError(t *testing.T) {
 // batch's Err and the pipeline keeps serving later batches.
 func TestExecPanicRecovered(t *testing.T) {
 	var got []Result
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		if b[0].X == 13 {
 			panic("unlucky batch")
 		}
@@ -278,7 +279,7 @@ func TestExecPanicRecovered(t *testing.T) {
 func TestConcurrentProducers(t *testing.T) {
 	var edges atomic.Int64
 	var cbEdges atomic.Int64
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		edges.Add(int64(len(b)))
 		return Result{}
 	}, Config{BufferSize: 64, MaxInFlight: 2, Callback: func(r Result) { cbEdges.Add(int64(r.Edges)) }})
@@ -319,7 +320,7 @@ func TestConcurrentProducers(t *testing.T) {
 func TestFlushSurfacesCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	var execs atomic.Int64
-	p := New(func(b []exec.Edge, opts any) Result {
+	p := New(func(b []exec.Edge, opts any, _ *tracespan.Trace) Result {
 		execs.Add(1)
 		return Result{}
 	}, Config{BufferSize: 1 << 20, Context: ctx})

@@ -144,48 +144,71 @@ func (c *Client) Labels(ctx context.Context, name string) ([]uint32, error) {
 	return out, err
 }
 
-// rpc drives one framed request/reply exchange.
-func (c *Client) rpc(ctx context.Context, tenant, action string, env *wire.Envelope) (dsu.BatchReply, error) {
+// rpc drives one framed request/reply exchange, returning the trace
+// context the server's reply envelope reported (zero on untraced
+// tenants and old servers).
+func (c *Client) rpc(ctx context.Context, tenant, action string, env *wire.Envelope) (dsu.BatchReply, dsu.TraceContext, error) {
 	var buf bytes.Buffer
 	if err := wire.NewEncoder(&buf, c.format).Encode(env); err != nil {
-		return dsu.BatchReply{}, err
+		return dsu.BatchReply{}, dsu.TraceContext{}, err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.base+"/v1/tenants/"+url.PathEscape(tenant)+"/"+action, &buf)
 	if err != nil {
-		return dsu.BatchReply{}, err
+		return dsu.BatchReply{}, dsu.TraceContext{}, err
 	}
 	req.Header.Set("Content-Type", c.format.ContentType())
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return dsu.BatchReply{}, err
+		return dsu.BatchReply{}, dsu.TraceContext{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return dsu.BatchReply{}, httpError(resp)
+		return dsu.BatchReply{}, dsu.TraceContext{}, httpError(resp)
 	}
 	out, err := wire.NewDecoder(resp.Body, c.format, c.maxFrame).Decode()
 	if err != nil {
-		return dsu.BatchReply{}, fmt.Errorf("server reply: %w", err)
+		return dsu.BatchReply{}, dsu.TraceContext{}, fmt.Errorf("server reply: %w", err)
 	}
+	link := dsu.TraceContext{Trace: out.Trace, Span: out.Span}
 	switch out.Kind {
 	case wire.KindReply:
-		return *out.Reply, nil
+		return *out.Reply, link, nil
 	case wire.KindError:
-		return dsu.BatchReply{}, fmt.Errorf("server: %s", out.Error)
+		return dsu.BatchReply{}, link, fmt.Errorf("server: %s", out.Error)
 	default:
-		return dsu.BatchReply{}, fmt.Errorf("server answered %v to a %v request", out.Kind, env.Kind)
+		return dsu.BatchReply{}, link, fmt.Errorf("server answered %v to a %v request", out.Kind, env.Kind)
 	}
 }
 
 // UniteAll executes one remote mutation batch on the tenant.
 func (c *Client) UniteAll(ctx context.Context, tenant string, req dsu.UniteRequest) (dsu.BatchReply, error) {
-	return c.rpc(ctx, tenant, "unite", &wire.Envelope{Kind: wire.KindUnite, Unite: &req})
+	rep, _, err := c.rpc(ctx, tenant, "unite", &wire.Envelope{Kind: wire.KindUnite, Unite: &req})
+	return rep, err
 }
 
 // SameSetAll executes one remote query batch on the tenant.
 func (c *Client) SameSetAll(ctx context.Context, tenant string, req dsu.QueryRequest) (dsu.BatchReply, error) {
-	return c.rpc(ctx, tenant, "query", &wire.Envelope{Kind: wire.KindQuery, Query: &req})
+	rep, _, err := c.rpc(ctx, tenant, "query", &wire.Envelope{Kind: wire.KindQuery, Query: &req})
+	return rep, err
+}
+
+// UniteAllLinked is UniteAll carrying a caller-chosen trace context: on
+// a traced tenant the server adopts link's trace ID for the batch's span
+// tree, so the client and server halves of the exchange share one
+// identity. It returns the trace context the server's reply reported —
+// the server's own trace ID when link was zero, link itself when not,
+// zero when the tenant is untraced (or the server predates tracing).
+func (c *Client) UniteAllLinked(ctx context.Context, tenant string, req dsu.UniteRequest, link dsu.TraceContext) (dsu.BatchReply, dsu.TraceContext, error) {
+	return c.rpc(ctx, tenant, "unite",
+		&wire.Envelope{Kind: wire.KindUnite, Unite: &req, Trace: link.Trace, Span: link.Span})
+}
+
+// SameSetAllLinked is SameSetAll carrying a caller-chosen trace context
+// (see UniteAllLinked).
+func (c *Client) SameSetAllLinked(ctx context.Context, tenant string, req dsu.QueryRequest, link dsu.TraceContext) (dsu.BatchReply, dsu.TraceContext, error) {
+	return c.rpc(ctx, tenant, "query",
+		&wire.Envelope{Kind: wire.KindQuery, Query: &req, Trace: link.Trace, Span: link.Span})
 }
 
 // StreamConfig tunes one stream connection.
@@ -310,8 +333,17 @@ func (cs *ClientStream) read(dec wire.Decoder) {
 // accumulates them by its buffer size; Push blocking here is the
 // end-to-end backpressure (the server has stopped reading).
 func (cs *ClientStream) Push(edges ...dsu.Edge) error {
+	return cs.PushLinked(dsu.TraceContext{}, edges...)
+}
+
+// PushLinked is Push carrying a caller-chosen trace context: on a traced
+// tenant, the server-side batch these edges land in adopts link's trace
+// ID (first link per batch wins), and the batch's reply envelope reports
+// it back. A zero link is exactly Push.
+func (cs *ClientStream) PushLinked(link dsu.TraceContext, edges ...dsu.Edge) error {
 	cs.seq++
-	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindUnite, Seq: cs.seq, Unite: &dsu.UniteRequest{Edges: edges}})
+	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindUnite, Seq: cs.seq,
+		Unite: &dsu.UniteRequest{Edges: edges}, Trace: link.Trace, Span: link.Span})
 }
 
 // Flush asks the server to seal its current buffer early.

@@ -65,6 +65,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -73,6 +74,7 @@ import (
 
 	"repro/dsu"
 	"repro/internal/metrics"
+	"repro/internal/tracespan"
 	"repro/internal/wire"
 )
 
@@ -102,9 +104,11 @@ type Config struct {
 	// structure). Preloaded tenants (the operator's own flags) are not
 	// subject to it.
 	MaxN int
-	// Logf, when non-nil, receives one line per request and per stream
-	// lifecycle event.
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured log records: tenant
+	// lifecycle and stream open/close at Info, per-RPC lines (tenant,
+	// endpoint, trace ID, outcome) at Debug. Nil disables logging at
+	// zero cost.
+	Log *slog.Logger
 	// Metrics, when non-nil, instruments the front end onto the same
 	// registry that carries the dsu per-tenant series (pass the same
 	// *dsu.Metrics given to dsu.WithMetrics), so one /metrics scrape
@@ -119,11 +123,22 @@ type Config struct {
 type Server struct {
 	cfg  Config
 	reg  *dsu.Registry
+	log  *slog.Logger   // never nil (no-op handler when Config.Log is nil)
 	m    *serverMetrics // nil when uninstrumented
 	stop chan struct{}
 	once sync.Once
 	sems sync.Map // tenant name → chan struct{} (RPC in-flight budget)
 }
+
+// noopHandler is the disabled logging mode: a handler that reports every
+// level disabled, so call sites need no nil checks and pay no argument
+// evaluation (slog checks Enabled before assembling the record).
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }
 
 // New returns a server over cfg.Registry. It panics on a nil registry —
 // that is a programming error, not a runtime condition.
@@ -140,7 +155,10 @@ func New(cfg Config) *Server {
 	if cfg.MaxN <= 0 {
 		cfg.MaxN = 1 << 26
 	}
-	s := &Server{cfg: cfg, reg: cfg.Registry, stop: make(chan struct{})}
+	s := &Server{cfg: cfg, reg: cfg.Registry, log: cfg.Log, stop: make(chan struct{})}
+	if s.log == nil {
+		s.log = slog.New(noopHandler{})
+	}
 	if cfg.Metrics != nil {
 		s.m = newServerMetrics(cfg.Metrics.Registry())
 	}
@@ -152,12 +170,6 @@ func New(cfg Config) *Server {
 // waiting on in-flight budgets abort. Pair with http.Server.Shutdown,
 // which handles the listener and in-flight handlers. Idempotent.
 func (s *Server) Stop() { s.once.Do(func() { close(s.stop) }) }
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
-}
 
 // TenantSpec is the JSON body of POST /v1/tenants: the tenant name plus
 // the structure configuration, phrased in the dsu option vocabulary's
@@ -349,7 +361,8 @@ func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 			return
 		}
-		s.logf("tenant %q created: n=%d kind=%s shards=%d", u.Name(), u.N(), u.Kind(), u.Shards())
+		s.log.Info("tenant created",
+			"tenant", u.Name(), "n", u.N(), "kind", u.Kind(), "shards", u.Shards())
 		writeJSON(w, http.StatusCreated, infoOf(u))
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -363,7 +376,7 @@ func (s *Server) handleTenant(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 	case http.MethodDelete:
 		s.reg.Drop(u.Name())
 		s.sems.Delete(u.Name())
-		s.logf("tenant %q dropped", u.Name())
+		s.log.Info("tenant dropped", "tenant", u.Name())
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -382,6 +395,15 @@ func (s *Server) sem(name string) chan struct{} {
 // handleRPC answers one framed batch request. Envelope kind must match
 // the endpoint — /unite carries unite envelopes, /query query envelopes —
 // so a misrouted frame fails loudly instead of mutating the wrong way.
+//
+// On a traced tenant the whole exchange records one span tree: the trace
+// opens before the frame is decoded (wire-decode span), adopts the
+// client's trace context if the envelope carried one, waits under a
+// queue-wait span, executes through the traced DTO methods (execute and
+// sub-spans recorded at the executor seam), and closes with a
+// reply-encode span; the reply envelope carries the trace context back.
+// Exchanges that fail before execution — bad frames, kind mismatches,
+// shutdown — drop their trace unrecorded: there is no batch to explain.
 func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Universe, want wire.Kind) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -392,7 +414,15 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
 		return
 	}
+	op, endpoint := tracespan.OpQuery, "query"
+	if want == wire.KindUnite {
+		op, endpoint = tracespan.OpUnite, "unite"
+	}
+	rec := u.TraceRecorder() // nil (all no-ops) on an untraced tenant
+	tr := rec.Start(op, tracespan.SourceRPC)
+	wd := tr.Start(tracespan.StageWireDecode, tracespan.Root)
 	env, err := wire.NewDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame).Decode()
+	tr.End(wd)
 	if err != nil {
 		s.decodeError()
 		http.Error(w, "bad frame: "+err.Error(), http.StatusBadRequest)
@@ -403,6 +433,8 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 		http.Error(w, fmt.Sprintf("endpoint wants %v envelopes, got %v", want, env.Kind), http.StatusBadRequest)
 		return
 	}
+	tr.Adopt(tracespan.Context{Trace: env.Trace, Span: env.Span})
+	qw := tr.Start(tracespan.StageQueueWait, tracespan.Root)
 
 	// Per-tenant bounded in-flight: a burst queues against its own tenant's
 	// budget (or gives up with the client), never against other tenants.
@@ -445,6 +477,7 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 		}
 		defer func() { <-sem }()
 	}
+	tr.End(qw)
 
 	var inflight *metrics.Gauge // nil-safe when uninstrumented
 	if s.m != nil {
@@ -453,24 +486,44 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 	inflight.Inc()
 	var rep dsu.BatchReply
 	var execErr error
+	var edges int
 	switch want {
 	case wire.KindUnite:
-		rep, execErr = u.UniteAll(*env.Unite)
+		edges = len(env.Unite.Edges)
+		rep, execErr = u.UniteAllTraced(*env.Unite, tr)
 	case wire.KindQuery:
-		rep, execErr = u.SameSetAll(*env.Query)
+		edges = len(env.Query.Pairs)
+		rep, execErr = u.SameSetAllTraced(*env.Query, tr)
 	}
 	inflight.Dec()
 	w.Header().Set("Content-Type", format.ContentType())
 	enc := wire.NewEncoder(s.wireWriter(w), format)
 	if execErr != nil {
+		// Validation failure: nothing executed, so the trace is dropped —
+		// the error envelope is the whole story.
 		if enc.Encode(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: execErr.Error()}) == nil {
 			s.frameOut()
 		}
+		s.log.Debug("rpc rejected", "tenant", u.Name(), "endpoint", endpoint,
+			"trace", tracespan.FormatTraceID(tr.ID()), "err", execErr.Error())
 		return
 	}
-	if enc.Encode(&wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep}) == nil {
+	re := tr.Start(tracespan.StageReplyEncode, tracespan.Root)
+	renv := &wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep}
+	if c := tr.Context(); c.Valid() {
+		renv.Trace, renv.Span = c.Trace, c.Span
+	}
+	if enc.Encode(renv) == nil {
 		s.frameOut()
 	}
+	tr.End(re)
+	if a := tr.Attrs(tracespan.Root); a != nil {
+		a.Edges = int64(edges)
+		a.Merged = rep.Merged
+	}
+	rec.Finish(tr)
+	s.log.Debug("rpc", "tenant", u.Name(), "endpoint", endpoint,
+		"trace", tracespan.FormatTraceID(tr.ID()), "edges", edges, "merged", rep.Merged)
 }
 
 // streamEdgeCap converts the frame limit into a sane ceiling for
@@ -567,12 +620,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 				write(&wire.Envelope{Kind: wire.KindError, Seq: br.ID, Error: br.Err.Error()})
 				return
 			}
+			// The callback runs before the trace is finished, so the
+			// reply-encode span lands inside the batch's recorded tree, and
+			// the reply envelope reports the batch's trace identity.
+			re := br.Trace.Start(tracespan.StageReplyEncode, tracespan.Root)
 			rep := dsu.ReplyOf(br)
-			write(&wire.Envelope{Kind: wire.KindReply, Seq: br.ID, Reply: &rep})
+			renv := &wire.Envelope{Kind: wire.KindReply, Seq: br.ID, Reply: &rep}
+			if c := br.Trace.Context(); c.Valid() {
+				renv.Trace, renv.Span = c.Trace, c.Span
+			}
+			write(renv)
+			br.Trace.End(re)
 		}),
 	)
-	s.logf("stream open: tenant=%q format=%v buffer=%d inflight=%d concurrent=%v",
-		u.Name(), format, st.BufferSize(), inflight, u.Concurrent())
+	s.log.Info("stream open", "tenant", u.Name(), "format", format.String(),
+		"buffer", st.BufferSize(), "inflight", inflight, "concurrent", u.Concurrent())
 
 	// Decode on a side goroutine so the ingest loop can select against the
 	// stream context: a push-only connection otherwise blocks in a body
@@ -631,7 +693,9 @@ ingest:
 				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
 				continue
 			}
-			if err := st.Push(env.Unite.Edges...); err != nil {
+			// A traced frame's context rides into the batch its edges land
+			// in (first link wins); a zero context makes this a plain Push.
+			if err := st.PushLinked(dsu.TraceContext{Trace: env.Trace, Span: env.Span}, env.Unite.Edges...); err != nil {
 				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
 				break ingest
 			}
@@ -664,6 +728,6 @@ ingest:
 		end.Error = closeErr.Error()
 	}
 	write(end)
-	s.logf("stream done: tenant=%q batches=%d edges=%d merged=%d failed=%d err=%v",
-		u.Name(), st.Batches(), st.Edges(), st.Merged(), st.Failed(), closeErr)
+	s.log.Info("stream done", "tenant", u.Name(), "batches", st.Batches(),
+		"edges", st.Edges(), "merged", st.Merged(), "failed", st.Failed(), "err", closeErr)
 }

@@ -1,0 +1,79 @@
+package tracespan
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceSnapshot is the exported, JSON-stable form of a finished trace.
+// Trace IDs render as 16-hex-digit strings: a JSON number above 2^53
+// silently loses precision in every JavaScript consumer, and trace IDs
+// are identities, not quantities.
+type TraceSnapshot struct {
+	TraceID    string         `json:"trace_id"`
+	ParentSpan uint64         `json:"parent_span,omitempty"` // remote peer's span, when adopted
+	Remote     bool           `json:"remote,omitempty"`      // trace ID adopted from a peer
+	Op         string         `json:"op"`
+	Source     string         `json:"source"`
+	Began      time.Time      `json:"began"`
+	Duration   time.Duration  `json:"duration_ns"`
+	Slow       bool           `json:"slow,omitempty"` // met the flight-recorder threshold
+	Dropped    int            `json:"dropped_spans,omitempty"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+// SpanSnapshot is one span of an exported trace. IDs and parents are
+// trace-local SpanRefs; Parent 0 marks the root. Offsets and durations
+// are nanoseconds from the trace's begin time.
+type SpanSnapshot struct {
+	ID       uint32        `json:"id"`
+	Parent   uint32        `json:"parent,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Duration `json:"start_ns"`
+	Duration time.Duration `json:"duration_ns"`
+	Attrs    SpanAttrs     `json:"attrs"`
+}
+
+// FormatTraceID renders a wire trace ID the way snapshots do.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+func export(traces []*Trace, slow time.Duration) []TraceSnapshot {
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.snapshot(slow))
+	}
+	return out
+}
+
+// snapshot exports one finished (immutable) trace.
+func (t *Trace) snapshot(slow time.Duration) TraceSnapshot {
+	n := int(t.n.Load())
+	if n > MaxSpans {
+		n = MaxSpans
+	}
+	spans := make([]SpanSnapshot, n)
+	for i := 0; i < n; i++ {
+		s := &t.spans[i]
+		spans[i] = SpanSnapshot{
+			ID:       uint32(i + 1),
+			Parent:   uint32(s.parent),
+			Name:     s.name,
+			Start:    time.Duration(s.start),
+			Duration: time.Duration(s.end - s.start),
+			Attrs:    s.attrs,
+		}
+	}
+	dur := time.Duration(t.spans[0].end)
+	return TraceSnapshot{
+		TraceID:    FormatTraceID(t.id),
+		ParentSpan: t.parent,
+		Remote:     t.adopted.Load(),
+		Op:         t.op,
+		Source:     t.source,
+		Began:      t.began,
+		Duration:   dur,
+		Slow:       slow > 0 && dur >= slow,
+		Dropped:    int(t.dropped.Load()),
+		Spans:      spans,
+	}
+}

@@ -1,0 +1,341 @@
+package tracespan
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety: every method on nil receivers must no-op — this is the
+// disabled mode the instrumented seams rely on.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Start(OpUnite, SourceBlocking)
+	if tr != nil {
+		t.Fatalf("nil recorder Start = %v, want nil", tr)
+	}
+	sp := tr.Start(StageExecute, Root)
+	if sp != 0 {
+		t.Fatalf("nil trace Start = %d, want 0", sp)
+	}
+	tr.End(sp)
+	tr.EndAt(sp, time.Millisecond)
+	tr.Adopt(Context{Trace: 1, Span: 2})
+	if a := tr.Attrs(sp); a != nil {
+		t.Fatalf("nil trace Attrs = %v, want nil", a)
+	}
+	if id := tr.ID(); id != 0 {
+		t.Fatalf("nil trace ID = %d, want 0", id)
+	}
+	if c := tr.Context(); c.Valid() {
+		t.Fatalf("nil trace Context = %+v, want invalid", c)
+	}
+	r.Finish(tr)
+	if s := r.Snapshot(); s != nil {
+		t.Fatalf("nil recorder Snapshot = %v, want nil", s)
+	}
+	if s := r.Slow(); s != nil {
+		t.Fatalf("nil recorder Slow = %v, want nil", s)
+	}
+	if got := r.SlowThreshold(); got != 0 {
+		t.Fatalf("nil recorder SlowThreshold = %v, want 0", got)
+	}
+}
+
+// TestDisabledPathAllocs: the nil recorder path must be allocation-free
+// — the root BenchmarkTraceOverhead pins the same property end to end.
+func TestDisabledPathAllocs(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := r.Start(OpUnite, SourceBlocking)
+		sp := tr.Start(StageExecute, Root)
+		if a := tr.Attrs(sp); a != nil {
+			a.Edges = 1
+		}
+		tr.End(sp)
+		r.Finish(tr)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestEnabledPathAllocs: a traced batch costs exactly one allocation —
+// the Trace object. Span start/end/attr recording itself is free.
+func TestEnabledPathAllocs(t *testing.T) {
+	r := New(Config{})
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := r.Start(OpUnite, SourceBlocking)
+		sp := tr.Start(StageExecute, Root)
+		if a := tr.Attrs(sp); a != nil {
+			a.Edges = 4096
+		}
+		tr.End(sp)
+		r.Finish(tr)
+	})
+	if allocs != 1 {
+		t.Fatalf("traced path allocates %v/op, want exactly 1 (the Trace)", allocs)
+	}
+}
+
+func TestSpanTreeShape(t *testing.T) {
+	r := New(Config{SlowThreshold: time.Hour})
+	tr := r.Start(OpUnite, SourceRPC)
+	if tr.ID() == 0 {
+		t.Fatal("trace ID must be nonzero")
+	}
+	dec := tr.Start(StageWireDecode, Root)
+	tr.End(dec)
+	ex := tr.Start(StageExecute, Root)
+	w := tr.StartAt(StageWorker, ex, tr.StartOffset(ex))
+	if a := tr.Attrs(w); a != nil {
+		a.Worker = 1
+		a.Ops = 42
+	}
+	tr.End(w)
+	tr.End(ex)
+	r.Finish(tr)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("Snapshot len = %d, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Op != OpUnite || s.Source != SourceRPC || s.Slow {
+		t.Fatalf("snapshot header = %+v", s)
+	}
+	if len(s.Spans) != 4 {
+		t.Fatalf("span count = %d, want 4", len(s.Spans))
+	}
+	if s.Spans[0].Parent != 0 || s.Spans[0].Name != OpUnite {
+		t.Fatalf("root span = %+v", s.Spans[0])
+	}
+	// Every non-root span parents to a claimed span, and intervals nest.
+	root := s.Spans[0]
+	for _, sp := range s.Spans[1:] {
+		if sp.Parent == 0 || int(sp.Parent) > len(s.Spans) {
+			t.Fatalf("span %d has dangling parent %d", sp.ID, sp.Parent)
+		}
+		p := s.Spans[sp.Parent-1]
+		if sp.Start < p.Start || sp.Start+sp.Duration > p.Start+p.Duration {
+			t.Fatalf("span %d interval [%v,+%v] escapes parent %d [%v,+%v]",
+				sp.ID, sp.Start, sp.Duration, p.Parent, p.Start, p.Duration)
+		}
+	}
+	if root.Duration != s.Duration {
+		t.Fatalf("root duration %v != trace duration %v", root.Duration, s.Duration)
+	}
+	wspan := s.Spans[3]
+	if wspan.Name != StageWorker || wspan.Attrs.Worker != 1 || wspan.Attrs.Ops != 42 {
+		t.Fatalf("worker span = %+v", wspan)
+	}
+}
+
+func TestAdoptFirstWins(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start(OpUnite, SourceStream)
+	local := tr.ID()
+	tr.Adopt(Context{}) // invalid: ignored
+	if tr.ID() != local {
+		t.Fatal("invalid context must not adopt")
+	}
+	tr.Adopt(Context{Trace: 0xfeed, Span: 7})
+	if tr.ID() != 0xfeed {
+		t.Fatalf("ID after adopt = %x, want feed", tr.ID())
+	}
+	tr.Adopt(Context{Trace: 0xbeef, Span: 9}) // second link: ignored
+	if tr.ID() != 0xfeed {
+		t.Fatalf("second adopt must not win, ID = %x", tr.ID())
+	}
+	r.Finish(tr)
+	s := r.Snapshot()[0]
+	if !s.Remote || s.TraceID != FormatTraceID(0xfeed) || s.ParentSpan != 7 {
+		t.Fatalf("adopted snapshot = %+v", s)
+	}
+}
+
+func TestSpanOverflow(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start(OpUnite, SourceBlocking)
+	for i := 0; i < MaxSpans+10; i++ {
+		sp := tr.Start(StageWorker, Root)
+		if i < MaxSpans-1 && sp == 0 {
+			t.Fatalf("span %d should have been claimed", i)
+		}
+		if i >= MaxSpans-1 && sp != 0 {
+			t.Fatalf("span %d should have been dropped, got ref %d", i, sp)
+		}
+		tr.End(sp)
+		if a := tr.Attrs(sp); i >= MaxSpans-1 && a != nil {
+			t.Fatal("overflow ref must yield nil attrs")
+		}
+	}
+	r.Finish(tr)
+	s := r.Snapshot()[0]
+	if len(s.Spans) != MaxSpans || s.Dropped != 11 {
+		t.Fatalf("spans=%d dropped=%d, want %d and 11", len(s.Spans), s.Dropped, MaxSpans)
+	}
+}
+
+// TestConcurrentSpans: parallel workers claiming spans on one trace is
+// the real usage under -race.
+func TestConcurrentSpans(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start(OpUnite, SourceStream)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				sp := tr.Start(StageWorker, Root)
+				if a := tr.Attrs(sp); a != nil {
+					a.Worker = int64(w + 1)
+				}
+				tr.End(sp)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Finish(tr)
+	s := r.Snapshot()[0]
+	if len(s.Spans) != 33 { // root + 32 workers
+		t.Fatalf("span count = %d, want 33", len(s.Spans))
+	}
+	seen := map[uint32]bool{}
+	for _, sp := range s.Spans {
+		if seen[sp.ID] {
+			t.Fatalf("duplicate span ID %d", sp.ID)
+		}
+		seen[sp.ID] = true
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := New(Config{Ring: 4, Retain: 2, SlowThreshold: time.Hour})
+	var last *Trace
+	for i := 0; i < 10; i++ {
+		tr := r.Start(OpUnite, SourceBlocking)
+		r.Finish(tr)
+		last = tr
+	}
+	snaps := r.Snapshot()
+	if len(snaps) != 4 {
+		t.Fatalf("ring snapshot len = %d, want 4", len(snaps))
+	}
+	// Newest-first: the most recent finish leads.
+	if snaps[0].TraceID != FormatTraceID(last.ID()) {
+		t.Fatalf("snapshot[0] = %s, want newest %s", snaps[0].TraceID, FormatTraceID(last.ID()))
+	}
+	if got := r.Started(); got != 10 {
+		t.Fatalf("Started = %d, want 10", got)
+	}
+}
+
+// TestFlightRecorder: traces at/above the threshold land in the slow
+// ring; fast ones only in the recent ring.
+func TestFlightRecorder(t *testing.T) {
+	r := New(Config{SlowThreshold: 1}) // 1ns: everything is slow
+	tr := r.Start(OpQuery, SourceRPC)
+	time.Sleep(time.Millisecond)
+	r.Finish(tr)
+	slow := r.Slow()
+	if len(slow) != 1 || !slow[0].Slow || slow[0].Op != OpQuery {
+		t.Fatalf("Slow() = %+v, want one slow query trace", slow)
+	}
+	if r.SlowCount() != 1 {
+		t.Fatalf("SlowCount = %d, want 1", r.SlowCount())
+	}
+
+	r2 := New(Config{SlowThreshold: time.Hour})
+	r2.Finish(r2.Start(OpUnite, SourceBlocking))
+	if len(r2.Slow()) != 0 {
+		t.Fatal("fast trace must not reach the flight recorder")
+	}
+	if len(r2.Snapshot()) != 1 {
+		t.Fatal("fast trace must still reach the recent ring")
+	}
+}
+
+// TestConcurrentFinishSnapshot: finishes racing snapshots must be safe
+// (the ring is lock-free; traces are immutable post-Finish).
+func TestConcurrentFinishSnapshot(t *testing.T) {
+	r := New(Config{Ring: 8})
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 200; i++ {
+				tr := r.Start(OpUnite, SourceStream)
+				sp := tr.Start(StageExecute, Root)
+				tr.End(sp)
+				r.Finish(tr)
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range r.Snapshot() {
+					if len(s.Spans) == 0 {
+						t.Error("snapshot with no spans")
+						return
+					}
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+}
+
+func TestIDUniqueness(t *testing.T) {
+	r := New(Config{})
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		tr := r.Start(OpUnite, SourceBlocking)
+		if tr.ID() == 0 {
+			t.Fatal("zero trace ID")
+		}
+		if seen[tr.ID()] {
+			t.Fatalf("duplicate trace ID %x at %d", tr.ID(), i)
+		}
+		seen[tr.ID()] = true
+	}
+}
+
+// TestSnapshotJSON: the exposition must marshal, render trace IDs as
+// hex strings, and omit zero attrs.
+func TestSnapshotJSON(t *testing.T) {
+	r := New(Config{})
+	tr := r.Start(OpUnite, SourceRPC)
+	sp := tr.Start(StageExecute, Root)
+	if a := tr.Attrs(sp); a != nil {
+		a.Edges = 7
+	}
+	tr.End(sp)
+	r.Finish(tr)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []TraceSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || len(back[0].TraceID) != 16 {
+		t.Fatalf("round-tripped snapshot = %+v", back)
+	}
+	if back[0].Spans[1].Attrs.Edges != 7 {
+		t.Fatalf("attrs lost: %+v", back[0].Spans[1])
+	}
+}

@@ -15,9 +15,12 @@ import (
 // followed by the payload. The payload opens with a 1-byte kind and an
 // 8-byte big-endian sequence number; the body depends on the kind.
 //
-//	unite/query  [workers i32][grain i32][find u8][flags u8][edges: X u32, Y u32 ...]
+//	unite/query  [workers i32][grain i32][find u8][flags u8]
+//	             [trace u64][span u64]                    (only when flags bit2)
+//	             [edges: X u32, Y u32 ...]
 //	reply        [merged i64][filtered i64][casretries i64][elapsed i64][stats 10×i64]
 //	             [find u8][flags u8]
+//	             [trace u64][span u64]                    (only when flags bit1)
 //	             [answer count u32][answer bitset]        (count+bitset only when flags bit0)
 //	error        [utf-8 message]
 //	end          [batches u64][edges i64][merged i64][filtered i64][failed u64][utf-8 close error]
@@ -27,11 +30,17 @@ import (
 // so a count can't contradict the bytes that actually arrived. The answer
 // bitset does declare a count (answers aren't byte-aligned) and the
 // decoder insists the bitset length matches it exactly. Option flags:
-// bit 0 prefilter, bit 1 connected-filter. Reply flags: bit 0 "answers
-// present" (distinguishing a unite reply's absent answers from a query
-// reply with zero pairs). Stats order is the core.Stats field order —
-// Reads, CASAttempts, CASFailures, FindSteps, Rounds, Finds, Links,
-// Rewrites, Ops, Filtered — and must be revisited if core.Stats grows.
+// bit 0 prefilter, bit 1 connected-filter, bit 2 "trace context present"
+// (a 16-byte trace/span pair follows the flags byte — optional, so peers
+// that predate tracing still interoperate: old frames decode here as
+// untraced, and old decoders never see the bit from an untraced sender).
+// Reply flags: bit 0 "answers present" (distinguishing a unite reply's
+// absent answers from a query reply with zero pairs), bit 1 "trace
+// context present" (same 16-byte pair, before the answer count). A trace
+// extension with a zero trace ID contradicts itself and is rejected as
+// corrupt. Stats order is the core.Stats field order — Reads,
+// CASAttempts, CASFailures, FindSteps, Rounds, Finds, Links, Rewrites,
+// Ops, Filtered — and must be revisited if core.Stats grows.
 const (
 	binHeaderLen = 4
 	binMetaLen   = 1 + 8 // kind + seq
@@ -39,6 +48,16 @@ const (
 	binStatsLen  = 10 * 8
 	binReplyLen  = 8 + 8 + 8 + 8 + binStatsLen + 1 + 1
 	binEndLen    = 8 + 8 + 8 + 8 + 8
+	binTraceLen  = 8 + 8 // optional trace/span extension
+)
+
+// Flag bits of the unite/query options byte and the reply flags byte.
+const (
+	optFlagPrefilter = 1 << 0
+	optFlagConnected = 1 << 1
+	optFlagTrace     = 1 << 2
+	repFlagAnswers   = 1 << 0
+	repFlagTrace     = 1 << 1
 )
 
 type binaryEncoder struct {
@@ -60,18 +79,26 @@ func clamp32(v int) int32 {
 	return int32(v)
 }
 
-func appendOptions(b []byte, o dsu.BatchOptions) []byte {
+func appendOptions(b []byte, o dsu.BatchOptions, trace, span uint64) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(clamp32(o.Workers)))
 	b = binary.BigEndian.AppendUint32(b, uint32(clamp32(o.Grain)))
 	b = append(b, byte(o.Find))
 	var flags byte
 	if o.Prefilter {
-		flags |= 1
+		flags |= optFlagPrefilter
 	}
 	if o.ConnectedFilter {
-		flags |= 2
+		flags |= optFlagConnected
 	}
-	return append(b, flags)
+	if trace != 0 {
+		flags |= optFlagTrace
+	}
+	b = append(b, flags)
+	if trace != 0 {
+		b = binary.BigEndian.AppendUint64(b, trace)
+		b = binary.BigEndian.AppendUint64(b, span)
+	}
+	return b
 }
 
 func appendEdges(b []byte, edges []dsu.Edge) []byte {
@@ -100,14 +127,14 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 		if env.Unite != nil {
 			req = *env.Unite
 		}
-		b = appendOptions(b, req.Options)
+		b = appendOptions(b, req.Options, env.Trace, env.Span)
 		b = appendEdges(b, req.Edges)
 	case KindQuery:
 		var req dsu.QueryRequest
 		if env.Query != nil {
 			req = *env.Query
 		}
-		b = appendOptions(b, req.Options)
+		b = appendOptions(b, req.Options, env.Trace, env.Span)
 		b = appendEdges(b, req.Pairs)
 	case KindFlush:
 	case KindReply:
@@ -121,8 +148,19 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 		b = binary.BigEndian.AppendUint64(b, uint64(int64(rep.Elapsed)))
 		b = appendStats(b, rep.Stats)
 		b = append(b, byte(rep.Find))
+		var rflags byte
 		if rep.Answers != nil {
-			b = append(b, 1)
+			rflags |= repFlagAnswers
+		}
+		if env.Trace != 0 {
+			rflags |= repFlagTrace
+		}
+		b = append(b, rflags)
+		if env.Trace != 0 {
+			b = binary.BigEndian.AppendUint64(b, env.Trace)
+			b = binary.BigEndian.AppendUint64(b, env.Span)
+		}
+		if rep.Answers != nil {
 			b = binary.BigEndian.AppendUint32(b, uint32(len(rep.Answers)))
 			bits := make([]byte, (len(rep.Answers)+7)/8)
 			for i, v := range rep.Answers {
@@ -131,8 +169,6 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 				}
 			}
 			b = append(b, bits...)
-		} else {
-			b = append(b, 0)
 		}
 	case KindError:
 		b = append(b, env.Error...)
@@ -196,13 +232,13 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 	body := p[9:]
 	switch env.Kind {
 	case KindUnite:
-		opts, edges, err := parseBatch(body)
+		opts, edges, err := parseBatch(body, env)
 		if err != nil {
 			return nil, err
 		}
 		env.Unite = &dsu.UniteRequest{Edges: edges, Options: opts}
 	case KindQuery:
-		opts, pairs, err := parseBatch(body)
+		opts, pairs, err := parseBatch(body, env)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +248,7 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 			return nil, fmt.Errorf("%w: flush carries %d stray bytes", ErrCorruptFrame, len(body))
 		}
 	case KindReply:
-		rep, err := parseReply(body)
+		rep, err := parseReply(body, env)
 		if err != nil {
 			return nil, err
 		}
@@ -237,9 +273,10 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 	return env, nil
 }
 
-// parseBatch decodes the shared unite/query body: options then a
+// parseBatch decodes the shared unite/query body: options, the optional
+// trace-context extension (stored straight into env), then a
 // length-derived edge list.
-func parseBatch(body []byte) (dsu.BatchOptions, []dsu.Edge, error) {
+func parseBatch(body []byte, env *Envelope) (dsu.BatchOptions, []dsu.Edge, error) {
 	if len(body) < binOptsLen {
 		return dsu.BatchOptions{}, nil, fmt.Errorf("%w: batch body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binOptsLen)
 	}
@@ -247,10 +284,21 @@ func parseBatch(body []byte) (dsu.BatchOptions, []dsu.Edge, error) {
 		Workers:         int(int32(binary.BigEndian.Uint32(body[0:4]))),
 		Grain:           int(int32(binary.BigEndian.Uint32(body[4:8]))),
 		Find:            dsu.FindStrategy(body[8]),
-		Prefilter:       body[9]&1 != 0,
-		ConnectedFilter: body[9]&2 != 0,
+		Prefilter:       body[9]&optFlagPrefilter != 0,
+		ConnectedFilter: body[9]&optFlagConnected != 0,
 	}
 	raw := body[binOptsLen:]
+	if body[9]&optFlagTrace != 0 {
+		if len(raw) < binTraceLen {
+			return dsu.BatchOptions{}, nil, fmt.Errorf("%w: trace context truncated", ErrCorruptFrame)
+		}
+		env.Trace = binary.BigEndian.Uint64(raw[0:8])
+		env.Span = binary.BigEndian.Uint64(raw[8:16])
+		if env.Trace == 0 {
+			return dsu.BatchOptions{}, nil, fmt.Errorf("%w: trace context with zero trace id", ErrCorruptFrame)
+		}
+		raw = raw[binTraceLen:]
+	}
 	if len(raw)%8 != 0 {
 		return dsu.BatchOptions{}, nil, fmt.Errorf("%w: %d edge bytes are not a multiple of 8", ErrCorruptFrame, len(raw))
 	}
@@ -273,7 +321,7 @@ func parseStats(b []byte) core.Stats {
 	}
 }
 
-func parseReply(body []byte) (*dsu.BatchReply, error) {
+func parseReply(body []byte, env *Envelope) (*dsu.BatchReply, error) {
 	if len(body) < binReplyLen {
 		return nil, fmt.Errorf("%w: reply body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binReplyLen)
 	}
@@ -285,28 +333,39 @@ func parseReply(body []byte) (*dsu.BatchReply, error) {
 		Stats:      parseStats(body[32 : 32+binStatsLen]),
 		Find:       dsu.FindStrategy(body[32+binStatsLen]),
 	}
-	hasAnswers := body[32+binStatsLen+1]
+	rflags := body[32+binStatsLen+1]
+	if rflags&^(repFlagAnswers|repFlagTrace) != 0 {
+		return nil, fmt.Errorf("%w: reply flag byte %d", ErrCorruptFrame, rflags)
+	}
 	rest := body[binReplyLen:]
-	switch hasAnswers {
-	case 0:
+	if rflags&repFlagTrace != 0 {
+		if len(rest) < binTraceLen {
+			return nil, fmt.Errorf("%w: reply trace context truncated", ErrCorruptFrame)
+		}
+		env.Trace = binary.BigEndian.Uint64(rest[0:8])
+		env.Span = binary.BigEndian.Uint64(rest[8:16])
+		if env.Trace == 0 {
+			return nil, fmt.Errorf("%w: trace context with zero trace id", ErrCorruptFrame)
+		}
+		rest = rest[binTraceLen:]
+	}
+	if rflags&repFlagAnswers == 0 {
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("%w: reply without answers carries %d stray bytes", ErrCorruptFrame, len(rest))
 		}
-	case 1:
-		if len(rest) < 4 {
-			return nil, fmt.Errorf("%w: reply answer count truncated", ErrCorruptFrame)
-		}
-		count := int(binary.BigEndian.Uint32(rest[0:4]))
-		bits := rest[4:]
-		if len(bits) != (count+7)/8 {
-			return nil, fmt.Errorf("%w: %d answers need %d bitset bytes, frame has %d", ErrCorruptFrame, count, (count+7)/8, len(bits))
-		}
-		rep.Answers = make([]bool, count)
-		for i := range rep.Answers {
-			rep.Answers[i] = bits[i/8]&(1<<(i%8)) != 0
-		}
-	default:
-		return nil, fmt.Errorf("%w: reply flag byte %d", ErrCorruptFrame, hasAnswers)
+		return rep, nil
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: reply answer count truncated", ErrCorruptFrame)
+	}
+	count := int(binary.BigEndian.Uint32(rest[0:4]))
+	bits := rest[4:]
+	if len(bits) != (count+7)/8 {
+		return nil, fmt.Errorf("%w: %d answers need %d bitset bytes, frame has %d", ErrCorruptFrame, count, (count+7)/8, len(bits))
+	}
+	rep.Answers = make([]bool, count)
+	for i := range rep.Answers {
+		rep.Answers[i] = bits[i/8]&(1<<(i%8)) != 0
 	}
 	return rep, nil
 }

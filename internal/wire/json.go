@@ -18,9 +18,15 @@ import (
 // stream ending without a final newline still yields its last line. The
 // dsu DTOs marshal under their own JSON tags, so what travels here is
 // exactly the tenant-API vocabulary.
+// Trace context travels as two optional numeric fields; omitted keys
+// mean untraced, so pre-tracing peers read and write the same lines they
+// always did, and a "span" without a "trace" is rejected just as the
+// binary framing rejects a zero-ID trace extension.
 type jsonEnvelope struct {
 	Kind  string            `json:"kind"`
 	Seq   uint64            `json:"seq,omitempty"`
+	Trace uint64            `json:"trace,omitempty"`
+	Span  uint64            `json:"span,omitempty"`
 	Unite *dsu.UniteRequest `json:"unite,omitempty"`
 	Query *dsu.QueryRequest `json:"query,omitempty"`
 	Reply *dsu.BatchReply   `json:"reply,omitempty"`
@@ -46,6 +52,10 @@ func (e *jsonEncoder) Encode(env *Envelope) error {
 		Reply: env.Reply,
 		End:   env.End,
 		Error: env.Error,
+	}
+	if env.Trace != 0 { // a span without a trace is not a context
+		je.Trace = env.Trace
+		je.Span = env.Span
 	}
 	// Materialize the kind's body when the caller left it nil, exactly as
 	// the binary encoder does, so every encoded envelope satisfies the
@@ -103,6 +113,9 @@ func (d *jsonDecoder) Decode() (*Envelope, error) {
 		if kind == 0 {
 			return nil, fmt.Errorf("%w: unknown kind %q", ErrCorruptFrame, je.Kind)
 		}
+		if je.Trace == 0 && je.Span != 0 {
+			return nil, fmt.Errorf("%w: span without a trace id", ErrCorruptFrame)
+		}
 		// Enforce the kind→body invariant the binary framing guarantees by
 		// construction, so consumers can dereference the kind's body
 		// without nil checks regardless of which encoding carried it.
@@ -116,6 +129,8 @@ func (d *jsonDecoder) Decode() (*Envelope, error) {
 		return &Envelope{
 			Kind:  kind,
 			Seq:   je.Seq,
+			Trace: je.Trace,
+			Span:  je.Span,
 			Unite: je.Unite,
 			Query: je.Query,
 			Reply: je.Reply,

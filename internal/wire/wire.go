@@ -102,9 +102,20 @@ type StreamEnd struct {
 // Envelope is one protocol message: a kind, a sequence number (request
 // correlation on RPC, batch id on streams), and exactly one body field
 // populated according to the kind (none for KindFlush).
+//
+// Trace and Span are the optional distributed-tracing context. A nonzero
+// Trace on a unite/query envelope asks the server to adopt that identity
+// for the batch's span tree; on a reply it reports the trace the server
+// recorded (Span being the server's root span). Zero means untraced —
+// the fields add no bytes to binary frames and no keys to JSON lines, so
+// peers that predate them interoperate unchanged. A Span without a Trace
+// is not a context; encoders drop it and decoders reject frames that
+// declare one.
 type Envelope struct {
 	Kind  Kind
 	Seq   uint64
+	Trace uint64
+	Span  uint64
 	Unite *dsu.UniteRequest
 	Query *dsu.QueryRequest
 	Reply *dsu.BatchReply

@@ -40,13 +40,30 @@ func randomEnvelope(rng *rand.Rand) *Envelope {
 		}
 	}
 	env := &Envelope{Seq: rng.Uint64()}
+	// Trace context rides unite/query/reply envelopes; the generator
+	// attaches one about half the time so every property below covers
+	// traced and untraced frames alike. Span without Trace is not a
+	// context, so Span is drawn only alongside a nonzero Trace (and may
+	// itself be zero — "link to the root").
+	trace := func() {
+		if rng.Intn(2) == 0 {
+			return
+		}
+		env.Trace = rng.Uint64()
+		if env.Trace == 0 {
+			env.Trace = 1
+		}
+		env.Span = rng.Uint64() % 4
+	}
 	switch rng.Intn(6) {
 	case 0:
 		env.Kind = KindUnite
 		env.Unite = &dsu.UniteRequest{Edges: edges(), Options: opts()}
+		trace()
 	case 1:
 		env.Kind = KindQuery
 		env.Query = &dsu.QueryRequest{Pairs: edges(), Options: opts()}
+		trace()
 	case 2:
 		env.Kind = KindFlush
 	case 3:
@@ -73,6 +90,7 @@ func randomEnvelope(rng *rand.Rand) *Envelope {
 			}
 		}
 		env.Reply = rep
+		trace()
 	case 4:
 		env.Kind = KindError
 		env.Error = "tenant \"x\" not found — try again\n…"
@@ -217,6 +235,26 @@ func TestCorruptFrames(t *testing.T) {
 			b = append(b, 0, 0, 0, 100)          // 100 answers…
 			return append(b, make([]byte, 2)...) // …but 2 bitset bytes
 		}()...),
+		"truncated unite trace": frame(func() []byte {
+			b := append(meta(KindUnite), make([]byte, binOptsLen)...)
+			b[len(b)-1] = 4              // trace context present…
+			return append(b, 1, 2, 3, 4) // …but only 4 of 16 bytes
+		}()...),
+		"zero unite trace id": frame(func() []byte {
+			b := append(meta(KindUnite), make([]byte, binOptsLen)...)
+			b[len(b)-1] = 4                                // trace context present…
+			return append(b, make([]byte, binTraceLen)...) // …with trace id 0
+		}()...),
+		"truncated reply trace": frame(func() []byte {
+			b := append(meta(KindReply), make([]byte, binReplyLen)...)
+			b[len(b)-1] = 2 // trace context present, no bytes follow
+			return b
+		}()...),
+		"zero reply trace id": frame(func() []byte {
+			b := append(meta(KindReply), make([]byte, binReplyLen)...)
+			b[len(b)-1] = 2
+			return append(b, make([]byte, binTraceLen)...)
+		}()...),
 	}
 	for name, raw := range cases {
 		if _, err := NewDecoder(bytes.NewReader(raw), Binary, 0).Decode(); !errors.Is(err, ErrCorruptFrame) {
@@ -231,9 +269,107 @@ func TestCorruptFrames(t *testing.T) {
 		"query without body": `{"kind":"query"}` + "\n",
 		"reply without body": `{"kind":"reply"}` + "\n",
 		"end without body":   `{"kind":"end"}` + "\n",
+		"span without trace": `{"kind":"flush","span":5}` + "\n",
 	} {
 		if _, err := NewDecoder(bytes.NewReader([]byte(line)), JSON, 0).Decode(); !errors.Is(err, ErrCorruptFrame) {
 			t.Errorf("json %s: err = %v, want ErrCorruptFrame", name, err)
+		}
+	}
+}
+
+// TestTraceContextRoundTrip pins the trace fields explicitly in both
+// encodings: a traced unite, query, and reply each survive exactly, and
+// an untraced envelope stays untraced.
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []*Envelope{
+		{Kind: KindUnite, Seq: 1, Trace: 0xdeadbeefcafef00d, Span: 1,
+			Unite: &dsu.UniteRequest{Edges: []dsu.Edge{{X: 1, Y: 2}}}},
+		{Kind: KindQuery, Seq: 2, Trace: 42,
+			Query: &dsu.QueryRequest{Pairs: []dsu.Edge{{X: 3, Y: 4}}}},
+		{Kind: KindReply, Seq: 3, Trace: ^uint64(0), Span: 1,
+			Reply: &dsu.BatchReply{Merged: 5, Answers: []bool{true, false, true}}},
+		{Kind: KindUnite, Seq: 4, Unite: &dsu.UniteRequest{}},
+	}
+	for _, f := range []Format{Binary, JSON} {
+		for i, env := range cases {
+			var buf bytes.Buffer
+			if err := NewEncoder(&buf, f).Encode(env); err != nil {
+				t.Fatalf("%v case %d: encode: %v", f, i, err)
+			}
+			got, err := NewDecoder(&buf, f, 0).Decode()
+			if err != nil {
+				t.Fatalf("%v case %d: decode: %v", f, i, err)
+			}
+			if !reflect.DeepEqual(got, env) {
+				t.Fatalf("%v case %d:\n got %+v\nwant %+v", f, i, got, env)
+			}
+		}
+	}
+	// A Span without a Trace is not a context: both encoders drop it, so
+	// it must NOT survive the trip.
+	orphan := &Envelope{Kind: KindFlush, Seq: 9, Span: 77}
+	for _, f := range []Format{Binary, JSON} {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf, f).Encode(orphan); err != nil {
+			t.Fatalf("%v: encode orphan span: %v", f, err)
+		}
+		got, err := NewDecoder(&buf, f, 0).Decode()
+		if err != nil {
+			t.Fatalf("%v: decode orphan span: %v", f, err)
+		}
+		if got.Trace != 0 || got.Span != 0 {
+			t.Fatalf("%v: orphan span survived: %+v", f, got)
+		}
+	}
+}
+
+// TestUntracedFramesCompat decodes hand-built pre-tracing frames — the
+// exact bytes an old peer emits — proving the trace extension is purely
+// additive: no flag bit, no extension bytes, untraced envelope out.
+func TestUntracedFramesCompat(t *testing.T) {
+	// Binary unite: header + kind/seq + options(prefilter, no trace bit)
+	// + one edge.
+	unite := []byte{
+		0, 0, 0, 27, // payload length: 9 meta + 10 opts + 8 edge
+		byte(KindUnite), 0, 0, 0, 0, 0, 0, 0, 7, // kind, seq=7
+		0, 0, 0, 2, // workers=2
+		0, 0, 0, 0, // grain=0
+		0,                      // find
+		1,                      // flags: prefilter only
+		0, 0, 0, 1, 0, 0, 0, 2, // edge {1,2}
+	}
+	env, err := NewDecoder(bytes.NewReader(unite), Binary, 0).Decode()
+	if err != nil {
+		t.Fatalf("old unite frame: %v", err)
+	}
+	if env.Trace != 0 || env.Span != 0 || !env.Unite.Options.Prefilter ||
+		len(env.Unite.Edges) != 1 || env.Unite.Edges[0] != (dsu.Edge{X: 1, Y: 2}) {
+		t.Fatalf("old unite frame decoded as %+v", env)
+	}
+	// Binary reply: fixed part with flags byte 1 (answers, no trace),
+	// then count+bitset — the pre-tracing flag byte held only 0 or 1.
+	body := make([]byte, binReplyLen)
+	body[binReplyLen-1] = 1
+	body = append(body, 0, 0, 0, 2, 0b01)
+	reply := append([]byte{0, 0, 0, byte(9 + len(body)), byte(KindReply), 0, 0, 0, 0, 0, 0, 0, 1}, body...)
+	env, err = NewDecoder(bytes.NewReader(reply), Binary, 0).Decode()
+	if err != nil {
+		t.Fatalf("old reply frame: %v", err)
+	}
+	if env.Trace != 0 || len(env.Reply.Answers) != 2 || !env.Reply.Answers[0] || env.Reply.Answers[1] {
+		t.Fatalf("old reply frame decoded as %+v", env)
+	}
+	// JSON lines without trace keys.
+	for _, line := range []string{
+		`{"kind":"unite","seq":3,"unite":{"edges":[{"X":1,"Y":2}]}}`,
+		`{"kind":"reply","reply":{"merged":1}}`,
+	} {
+		env, err := NewDecoder(bytes.NewReader([]byte(line+"\n")), JSON, 0).Decode()
+		if err != nil {
+			t.Fatalf("old json line %q: %v", line, err)
+		}
+		if env.Trace != 0 || env.Span != 0 {
+			t.Fatalf("old json line %q decoded with trace: %+v", line, env)
 		}
 	}
 }
@@ -272,6 +408,14 @@ func FuzzBinaryDecode(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+	// Traced frames: a unite and a reply carrying the trace extension.
+	var traced bytes.Buffer
+	enc = NewEncoder(&traced, Binary)
+	_ = enc.Encode(&Envelope{Kind: KindUnite, Seq: 1, Trace: 0xabc, Span: 1,
+		Unite: &dsu.UniteRequest{Edges: []dsu.Edge{{X: 1, Y: 2}}}})
+	_ = enc.Encode(&Envelope{Kind: KindReply, Seq: 1, Trace: 0xabc, Span: 1,
+		Reply: &dsu.BatchReply{Answers: []bool{true}}})
+	f.Add(traced.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), Binary, 1<<20)
 		for {
@@ -298,6 +442,8 @@ func FuzzBinaryDecode(f *testing.F) {
 func FuzzJSONDecode(f *testing.F) {
 	f.Add([]byte(`{"kind":"flush","seq":9}` + "\n"))
 	f.Add([]byte(`{"kind":"unite","unite":{"edges":[{"X":1,"Y":2}]}}` + "\n"))
+	f.Add([]byte(`{"kind":"unite","trace":123,"span":1,"unite":{"edges":[{"X":1,"Y":2}]}}` + "\n"))
+	f.Add([]byte(`{"kind":"reply","trace":456,"reply":{"merged":1}}` + "\n"))
 	f.Add([]byte("\n\n{\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), JSON, 1<<20)
