@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 	"testing"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/seqdsu"
 	"repro/internal/shard"
 	"repro/internal/simdsu"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -580,4 +583,73 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("traced", func(b *testing.B) { run(b, dsu.NewTracing()) })
+}
+
+// BenchmarkWireFastPath pins the wire fast path's tentpole number:
+// steady-state binary encode and decode of the batch-path envelope
+// vocabulary (a 1K-edge unite, a query, a reply with answers) through
+// pooled codecs must report 0 B/op and 0 allocs/op. CI runs this with
+// -benchmem and fails the build if either figure is nonzero — the
+// executable form of the AllocsPerRun pin in internal/wire's tests.
+func BenchmarkWireFastPath(b *testing.B) {
+	const edgesPerFrame = 1024
+	edges := make([]dsu.Edge, edgesPerFrame)
+	for i, op := range workload.RandomUnions(1<<16, edgesPerFrame, 23) {
+		edges[i] = dsu.Edge{X: op.X, Y: op.Y}
+	}
+	answers := make([]bool, edgesPerFrame)
+	for i := range answers {
+		answers[i] = i%3 == 0
+	}
+	envs := []*wire.Envelope{
+		{Kind: wire.KindUnite, Seq: 1, Unite: &dsu.UniteRequest{Edges: edges}},
+		{Kind: wire.KindQuery, Seq: 2, Trace: 0xfeed, Span: 2, Query: &dsu.QueryRequest{Pairs: edges}},
+		{Kind: wire.KindReply, Seq: 2, Reply: &dsu.BatchReply{Merged: 512, Answers: answers}},
+	}
+
+	b.Run("encode", func(b *testing.B) {
+		enc := wire.AcquireEncoder(io.Discard, wire.Binary)
+		defer wire.ReleaseEncoder(enc)
+		for _, env := range envs { // warm the frame buffer to steady state
+			if err := enc.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(envs[i%len(envs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("decode", func(b *testing.B) {
+		var buf bytes.Buffer
+		enc := wire.NewEncoder(&buf, wire.Binary)
+		for _, env := range envs {
+			if err := enc.Encode(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		data := buf.Bytes()
+		r := bytes.NewReader(data)
+		dec := wire.AcquireDecoder(r, wire.Binary, wire.DefaultMaxFrame)
+		defer wire.ReleaseDecoder(dec)
+		for range envs { // warm the scratch DTOs to steady state
+			if _, err := dec.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%len(envs) == 0 {
+				r.Reset(data)
+			}
+			if _, err := dec.Decode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

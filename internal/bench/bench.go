@@ -1,9 +1,10 @@
 // Package bench is the experiment harness: one runner per experiment in
-// DESIGN.md's per-experiment index (E1–E21, E23), each regenerating the
+// DESIGN.md's per-experiment index (E1–E24), each regenerating the
 // table/check that validates one of the paper's theorems or constructions
 // (E18 measures the batch engine, E19 the sharded subsystem, E20 the
-// streaming ingestion front, E21 the adaptive compaction policy, and E23
-// the lock-free concurrent backend — the repo's systems extensions).
+// streaming ingestion front, E21 the adaptive compaction policy, E22 the
+// wire protocol, E23 the lock-free concurrent backend, and E24 the
+// zero-allocation wire fast path — the repo's systems extensions).
 // The harness is shared by cmd/dsubench (which writes the tables behind
 // EXPERIMENTS.md) and the root-level Go benchmarks.
 //
@@ -104,11 +105,12 @@ func All() []Experiment {
 		{"E21", "Adaptive vs fixed find variants across mutate/query phases", "systems extension; ROADMAP batch-aware compaction item, Alistarh et al. 2019", runE21},
 		{"E22", "Wire-protocol throughput: remote vs in-process batches", "systems extension; ROADMAP wire-measurement item", runE22},
 		{"E23", "Lock-free backend vs flat and sharded", "Jayanti–Tarjan Section 3; systems extension, ROADMAP lock-free item", runE23},
+		{"E24", "Wire fast path: pipelined pooled codecs vs per-RPC exchanges", "systems extension; E22 follow-up, ROADMAP wire-measurement item", runE24},
 	}
 }
 
 // aliases maps friendly experiment names to IDs, for the CLI.
-var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "wire": "E22", "lockfree": "E23"}
+var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "wire": "E22", "lockfree": "E23", "fastpath": "E24"}
 
 // ByID returns the experiment with the given ID or alias, matched
 // case-insensitively so `-exp e19` and `-exp E19` name the same table.

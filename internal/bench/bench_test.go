@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registered %d experiments, want 23 (E1–E23)", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registered %d experiments, want 24 (E1–E24)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"time"
 
@@ -15,20 +16,41 @@ import (
 	"repro/internal/workload"
 )
 
-// remoteIngest drives the edge list through one remote unite RPC per
-// frame against the tenant, returning the wall-clock time. Frames carry
-// `frame` edges each — the sweep variable: small frames pay the
-// per-exchange protocol cost often, large frames amortize it.
-func remoteIngest(c *server.Client, tenant string, edges []engine.Edge, frame int) time.Duration {
-	ctx := context.Background()
+// allocsPerFrame runs one ingest and returns its wall-clock time plus
+// process-wide heap allocations per frame exchange. The server lives in
+// the same process, so the figure covers the whole round trip — client
+// encode, HTTP exchange, server decode, execute, reply both ways —
+// which is exactly the budget the fast path attacks.
+func allocsPerFrame(frames int, run func()) (time.Duration, float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	before := ms.Mallocs
 	start := time.Now()
-	for lo := 0; lo < len(edges); lo += frame {
-		hi := min(lo+frame, len(edges))
-		if _, err := c.UniteAll(ctx, tenant, dsu.UniteRequest{Edges: edges[lo:hi]}); err != nil {
-			panic(fmt.Sprintf("bench: remote unite failed: %v", err))
-		}
+	run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	if frames == 0 {
+		return elapsed, 0
 	}
-	return time.Since(start)
+	return elapsed, float64(ms.Mallocs-before) / float64(frames)
+}
+
+// remoteIngest drives the edge list through one remote unite RPC per
+// frame against the tenant, returning the wall-clock time and the
+// allocations per frame. Frames carry `frame` edges each — the sweep
+// variable: small frames pay the per-exchange protocol cost often,
+// large frames amortize it.
+func remoteIngest(c *server.Client, tenant string, edges []engine.Edge, frame int) (time.Duration, float64) {
+	ctx := context.Background()
+	frames := (len(edges) + frame - 1) / frame
+	return allocsPerFrame(frames, func() {
+		for lo := 0; lo < len(edges); lo += frame {
+			hi := min(lo+frame, len(edges))
+			if _, err := c.UniteAll(ctx, tenant, dsu.UniteRequest{Edges: edges[lo:hi]}); err != nil {
+				panic(fmt.Sprintf("bench: remote unite failed: %v", err))
+			}
+		}
+	})
 }
 
 // inProcessIngest is the same frame loop without the wire: blocking
@@ -74,7 +96,7 @@ func runE22(cfg Config) error {
 	// Frame-size × encoding sweep, one tenant: the protocol tax and how
 	// batching amortizes it.
 	fmt.Fprintf(cfg.Out, "### Remote unite RPC vs in-process (n=%d, m=%d edges, one tenant)\n\n", n, m)
-	tb := stats.NewTable("frame", "in-proc Medge/s", "binary Medge/s", "×", "json Medge/s", "×")
+	tb := stats.NewTable("frame", "in-proc Medge/s", "binary Medge/s", "×", "allocs/fr", "json Medge/s", "×", "allocs/fr")
 	for _, frame := range frames {
 		local := bestOf(func() time.Duration { return inProcessIngest(n, cfg.Seed+1, edges, frame) })
 		lth := mops(m, local)
@@ -82,10 +104,10 @@ func runE22(cfg Config) error {
 		for _, format := range []wire.Format{wire.Binary, wire.JSON} {
 			hs, _ := newServer(1)
 			c := server.NewClient(hs.URL, server.WithHTTPClient(hs.Client()), server.WithFormat(format))
-			remote := remoteIngest(c, "t0", edges, frame)
+			remote, apf := remoteIngest(c, "t0", edges, frame)
 			hs.Close()
 			rth := mops(m, remote)
-			row = append(row, rth, ratio(rth, lth))
+			row = append(row, rth, ratio(rth, lth), apf)
 		}
 		tb.AddRowf(row...)
 	}

@@ -166,14 +166,23 @@ func (c *Client) rpc(ctx context.Context, tenant, action string, env *wire.Envel
 	if resp.StatusCode != http.StatusOK {
 		return dsu.BatchReply{}, dsu.TraceContext{}, httpError(resp)
 	}
-	out, err := wire.NewDecoder(resp.Body, c.format, c.maxFrame).Decode()
+	dec := wire.AcquireDecoder(resp.Body, c.format, c.maxFrame)
+	defer wire.ReleaseDecoder(dec)
+	out, err := dec.Decode()
 	if err != nil {
 		return dsu.BatchReply{}, dsu.TraceContext{}, fmt.Errorf("server reply: %w", err)
 	}
 	link := dsu.TraceContext{Trace: out.Trace, Span: out.Span}
 	switch out.Kind {
 	case wire.KindReply:
-		return *out.Reply, link, nil
+		// Copy out of the pooled decoder's scratch: the returned reply is
+		// the caller's to keep, so it must not alias a recycled buffer
+		// (nil-vs-empty answers is a wire distinction and is preserved).
+		rep := *out.Reply
+		if rep.Answers != nil {
+			rep.Answers = append(make([]bool, 0, len(rep.Answers)), rep.Answers...)
+		}
+		return rep, link, nil
 	case wire.KindError:
 		return dsu.BatchReply{}, link, fmt.Errorf("server: %s", out.Error)
 	default:
@@ -223,7 +232,10 @@ type StreamConfig struct {
 	// (workers, grain, filters; the Find override is RPC-only).
 	Batch dsu.BatchOptions
 	// OnReply, when non-nil, observes every per-batch envelope (reply or
-	// error) as it arrives, from the stream's reader goroutine.
+	// error) as it arrives, from the stream's reader goroutine. The
+	// envelope and everything it points to live in the connection's
+	// pooled decoder and are valid only during the callback — copy
+	// whatever outlives it.
 	OnReply func(*wire.Envelope)
 }
 
@@ -233,11 +245,19 @@ type StreamConfig struct {
 // caller (one producer per connection — open more connections for more
 // producers); OnReply runs on an internal goroutine concurrently with
 // them.
+//
+// Pushed frames are coalesced: a burst of small Pushes leaves in one
+// request-body write, flushed as soon as the producer goes idle (or
+// explicitly by Flush, which also seals the server-side buffer). Push
+// does not retain the caller's edge slice — it is free for reuse as
+// soon as Push returns.
 type ClientStream struct {
-	pw   *io.PipeWriter
-	enc  wire.Encoder
-	seq  uint64
-	resp *http.Response
+	pw     *io.PipeWriter
+	fw     *wire.FlushWriter
+	enc    wire.Encoder
+	seq    uint64
+	resp   *http.Response
+	closed bool
 
 	done    chan struct{}
 	onReply func(*wire.Envelope)
@@ -292,14 +312,16 @@ func (c *Client) OpenStream(ctx context.Context, tenant string, cfg StreamConfig
 		pw.Close()
 		return nil, err
 	}
+	fw := wire.NewFlushWriter(pw, 0, nil)
 	cs := &ClientStream{
 		pw:      pw,
-		enc:     wire.NewEncoder(pw, c.format),
+		fw:      fw,
+		enc:     wire.AcquireEncoder(fw, c.format),
 		resp:    resp,
 		done:    make(chan struct{}),
 		onReply: cfg.OnReply,
 	}
-	go cs.read(wire.NewDecoder(resp.Body, c.format, c.maxFrame))
+	go cs.read(wire.AcquireDecoder(resp.Body, c.format, c.maxFrame))
 	return cs, nil
 }
 
@@ -309,6 +331,7 @@ func (c *Client) OpenStream(ctx context.Context, tenant string, cfg StreamConfig
 // writes, not its own pushes.
 func (cs *ClientStream) read(dec wire.Decoder) {
 	defer close(cs.done)
+	defer wire.ReleaseDecoder(dec)
 	for {
 		env, err := dec.Decode()
 		if err != nil {
@@ -318,8 +341,9 @@ func (cs *ClientStream) read(dec wire.Decoder) {
 			return
 		}
 		if env.Kind == wire.KindEnd {
+			end := *env.End // copy out of the pooled decoder's scratch
 			cs.mu.Lock()
-			cs.end, cs.endErr = env.End, env.Error
+			cs.end, cs.endErr = &end, env.Error
 			cs.mu.Unlock()
 			return
 		}
@@ -341,15 +365,25 @@ func (cs *ClientStream) Push(edges ...dsu.Edge) error {
 // ID (first link per batch wins), and the batch's reply envelope reports
 // it back. A zero link is exactly Push.
 func (cs *ClientStream) PushLinked(link dsu.TraceContext, edges ...dsu.Edge) error {
+	if cs.closed {
+		return wire.ErrWriterClosed
+	}
 	cs.seq++
 	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindUnite, Seq: cs.seq,
 		Unite: &dsu.UniteRequest{Edges: edges}, Trace: link.Trace, Span: link.Span})
 }
 
-// Flush asks the server to seal its current buffer early.
+// Flush asks the server to seal its current buffer early, forcing the
+// coalescing writer out with it so the request leaves now.
 func (cs *ClientStream) Flush() error {
+	if cs.closed {
+		return wire.ErrWriterClosed
+	}
 	cs.seq++
-	return cs.enc.Encode(&wire.Envelope{Kind: wire.KindFlush, Seq: cs.seq})
+	if err := cs.enc.Encode(&wire.Envelope{Kind: wire.KindFlush, Seq: cs.seq}); err != nil {
+		return err
+	}
+	return cs.fw.Flush()
 }
 
 // Close ends the edge stream, waits for the server to drain, and returns
@@ -357,9 +391,15 @@ func (cs *ClientStream) Flush() error {
 // server lost batches (shutdown or cancellation mid-stream); Failed says
 // how many.
 func (cs *ClientStream) Close() (*wire.StreamEnd, error) {
-	cs.pw.Close()
-	<-cs.done
-	cs.resp.Body.Close()
+	if !cs.closed {
+		cs.closed = true
+		_ = cs.fw.Close()
+		cs.pw.Close()
+		<-cs.done
+		wire.ReleaseEncoder(cs.enc)
+		cs.enc = nil
+		cs.resp.Body.Close()
+	}
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	if cs.readErr != nil {
@@ -372,4 +412,176 @@ func (cs *ClientStream) Close() (*wire.StreamEnd, error) {
 		return nil, fmt.Errorf("stream closed without an end envelope")
 	}
 	return cs.end, nil
+}
+
+// PipeConfig tunes one pipelined-RPC connection.
+type PipeConfig struct {
+	// OnReply, when non-nil, observes every reply/error envelope — one
+	// per request, in request order, Seq echoing the request's — from the
+	// connection's reader goroutine. The envelope and everything it
+	// points to (the reply struct, its answer slice) live in the
+	// connection's pooled decoder and are valid only during the callback;
+	// copy whatever outlives it. Nil discards replies (fire-and-forget
+	// mutation pipelines still see errors in Close).
+	OnReply func(*wire.Envelope)
+}
+
+// ClientPipe is one open pipelined batch-RPC connection: UniteAll and
+// SameSetAll enqueue requests without waiting for replies, so many small
+// batches share one HTTP exchange and the round trip amortizes away —
+// the client-side half of the wire fast path. Requests coalesce in a
+// flush-on-idle writer exactly like stream pushes; replies arrive
+// through PipeConfig.OnReply in request order.
+//
+// UniteAll/SameSetAll/Flush/Close must be serialized by the caller (one
+// producer per pipe; open more pipes for more producers); OnReply runs
+// on an internal goroutine concurrently with them. Requests do not
+// retain the caller's edge slices — they are free for reuse on return.
+// Backpressure is end to end: a stalled server fills the coalescing
+// buffer and blocks the senders.
+type ClientPipe struct {
+	pw     *io.PipeWriter
+	fw     *wire.FlushWriter
+	enc    wire.Encoder
+	seq    uint64
+	resp   *http.Response
+	closed bool
+
+	// Scratch for the request envelope — the encoder serializes before
+	// returning, so one reusable envelope per pipe keeps the send path
+	// allocation-free.
+	env   wire.Envelope
+	unite dsu.UniteRequest
+	query dsu.QueryRequest
+
+	done    chan struct{}
+	onReply func(*wire.Envelope)
+
+	mu      sync.Mutex
+	readErr error
+}
+
+// OpenPipe opens a pipelined batch-RPC connection to the tenant. The
+// returned pipe must be Closed.
+func (c *Client) OpenPipe(ctx context.Context, tenant string, cfg PipeConfig) (*ClientPipe, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/tenants/"+url.PathEscape(tenant)+"/pipe", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", c.format.ContentType())
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := httpError(resp)
+		resp.Body.Close()
+		pw.Close()
+		return nil, err
+	}
+	fw := wire.NewFlushWriter(pw, 0, nil)
+	cp := &ClientPipe{
+		pw:      pw,
+		fw:      fw,
+		enc:     wire.AcquireEncoder(fw, c.format),
+		resp:    resp,
+		done:    make(chan struct{}),
+		onReply: cfg.OnReply,
+	}
+	go cp.read(wire.AcquireDecoder(resp.Body, c.format, c.maxFrame))
+	return cp, nil
+}
+
+// read delivers reply envelopes to OnReply until the server closes the
+// response (which it does once the request stream ends). Consuming
+// replies promptly is part of the backpressure loop, as on streams.
+func (cp *ClientPipe) read(dec wire.Decoder) {
+	defer close(cp.done)
+	defer wire.ReleaseDecoder(dec)
+	for {
+		env, err := dec.Decode()
+		if err != nil {
+			if err != io.EOF {
+				cp.mu.Lock()
+				cp.readErr = err
+				cp.mu.Unlock()
+			}
+			return
+		}
+		if cp.onReply != nil {
+			cp.onReply(env)
+		}
+	}
+}
+
+// UniteAll enqueues one mutation batch and returns its sequence number
+// without waiting for the reply (which arrives via OnReply with the
+// same Seq).
+func (cp *ClientPipe) UniteAll(req dsu.UniteRequest) (uint64, error) {
+	return cp.UniteAllLinked(req, dsu.TraceContext{})
+}
+
+// UniteAllLinked is UniteAll carrying a caller-chosen trace context
+// (see Client.UniteAllLinked for the adoption semantics).
+func (cp *ClientPipe) UniteAllLinked(req dsu.UniteRequest, link dsu.TraceContext) (uint64, error) {
+	if cp.closed {
+		return 0, wire.ErrWriterClosed
+	}
+	cp.seq++
+	cp.unite = req
+	cp.env = wire.Envelope{Kind: wire.KindUnite, Seq: cp.seq, Unite: &cp.unite,
+		Trace: link.Trace, Span: link.Span}
+	return cp.seq, cp.enc.Encode(&cp.env)
+}
+
+// SameSetAll enqueues one query batch and returns its sequence number
+// without waiting for the reply.
+func (cp *ClientPipe) SameSetAll(req dsu.QueryRequest) (uint64, error) {
+	return cp.SameSetAllLinked(req, dsu.TraceContext{})
+}
+
+// SameSetAllLinked is SameSetAll carrying a caller-chosen trace context.
+func (cp *ClientPipe) SameSetAllLinked(req dsu.QueryRequest, link dsu.TraceContext) (uint64, error) {
+	if cp.closed {
+		return 0, wire.ErrWriterClosed
+	}
+	cp.seq++
+	cp.query = req
+	cp.env = wire.Envelope{Kind: wire.KindQuery, Seq: cp.seq, Query: &cp.query,
+		Trace: link.Trace, Span: link.Span}
+	return cp.seq, cp.enc.Encode(&cp.env)
+}
+
+// Flush pushes any coalesced requests out now instead of on the next
+// idle moment — useful before blocking on replies.
+func (cp *ClientPipe) Flush() error {
+	if cp.closed {
+		return wire.ErrWriterClosed
+	}
+	return cp.fw.Flush()
+}
+
+// Close ends the request stream, waits for the last reply to be
+// delivered, and returns the first transport error (nil after a clean
+// drain). Idempotent.
+func (cp *ClientPipe) Close() error {
+	if !cp.closed {
+		cp.closed = true
+		_ = cp.fw.Close()
+		cp.pw.Close()
+		<-cp.done
+		wire.ReleaseEncoder(cp.enc)
+		cp.enc = nil
+		cp.resp.Body.Close()
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.readErr != nil {
+		return fmt.Errorf("pipe reply channel: %w", cp.readErr)
+	}
+	return nil
 }

@@ -66,7 +66,7 @@ func endpointOf(path string) string {
 		switch action {
 		case "":
 			return "tenant"
-		case "labels", "unite", "query", "stream":
+		case "labels", "unite", "query", "stream", "pipe":
 			return action
 		}
 		return "other"

@@ -15,12 +15,28 @@
 //	POST   /v1/tenants/{name}/unite     one framed UniteRequest → framed reply
 //	POST   /v1/tenants/{name}/query     one framed QueryRequest → framed reply
 //	POST   /v1/tenants/{name}/stream    full-duplex edge stream (see below)
+//	POST   /v1/tenants/{name}/pipe      pipelined batch RPC (see below)
 //
 // The unite/query endpoints are batch RPC: one request envelope in the
 // body, one reply (or error) envelope back, encoding chosen by
 // Content-Type. Any transport-level problem is a plain HTTP status; once
 // a well-formed envelope arrives, outcomes travel as envelopes so the two
 // encodings behave identically.
+//
+// # Pipelining
+//
+// The pipe endpoint is batch RPC without the per-exchange round trip:
+// one full-duplex connection carries any number of unite/query
+// envelopes, each answered in arrival order by a reply (or error)
+// envelope echoing its Seq. The client needn't wait for a reply before
+// sending the next request, so small-frame workloads amortize the HTTP
+// exchange cost that dominates them (E22); reply frames are coalesced by
+// a flush-on-idle writer, so bursts of small replies leave in one write.
+// A request that fails validation answers an error envelope and the pipe
+// carries on; a malformed frame or a non-unite/query kind answers an
+// error envelope and ends the pipe. Closing the request body ends the
+// pipe cleanly after the last reply. Per-tenant RPC budgets apply to
+// each piped request exactly as they do to single-shot RPC.
 //
 // # Streaming and backpressure
 //
@@ -315,6 +331,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			s.handleRPC(w, r, u, wire.KindQuery)
 		case "stream":
 			s.handleStream(w, r, u)
+		case "pipe":
+			s.handlePipe(w, r, u)
 		default:
 			http.Error(w, "unknown action", http.StatusNotFound)
 		}
@@ -421,7 +439,12 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 	rec := u.TraceRecorder() // nil (all no-ops) on an untraced tenant
 	tr := rec.Start(op, tracespan.SourceRPC)
 	wd := tr.Start(tracespan.StageWireDecode, tracespan.Root)
-	env, err := wire.NewDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame).Decode()
+	// Pooled codec: the request envelope lives in decoder scratch, which
+	// is safe here because execution is synchronous and neither the
+	// executor nor the prefilter retains the edge slice past the call.
+	dec := wire.AcquireDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame)
+	defer wire.ReleaseDecoder(dec)
+	env, err := dec.Decode()
 	tr.End(wd)
 	if err != nil {
 		s.decodeError()
@@ -497,7 +520,8 @@ func (s *Server) handleRPC(w http.ResponseWriter, r *http.Request, u *dsu.Univer
 	}
 	inflight.Dec()
 	w.Header().Set("Content-Type", format.ContentType())
-	enc := wire.NewEncoder(s.wireWriter(w), format)
+	enc := wire.AcquireEncoder(s.wireWriter(w), format)
+	defer wire.ReleaseEncoder(enc)
 	if execErr != nil {
 		// Validation failure: nothing executed, so the trace is dropped —
 		// the error envelope is the whole story.
@@ -596,14 +620,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 
-	enc := wire.NewEncoder(s.wireWriter(w), format)
+	// Replies leave through the coalescing writer: a burst of small reply
+	// frames (concurrent dispatch, tiny batches) lands in one underlying
+	// write and one HTTP flush instead of one of each per frame. Closing
+	// it before the handler returns forces the final flush.
+	fw := wire.NewFlushWriter(s.wireWriter(w), 0, func() { _ = rc.Flush() })
+	defer fw.Close()
+	enc := wire.AcquireEncoder(fw, format)
+	defer wire.ReleaseEncoder(enc)
 	var wmu sync.Mutex // OnBatch (dispatcher goroutine) vs. this handler
 	write := func(env *wire.Envelope) {
 		wmu.Lock()
 		defer wmu.Unlock()
 		if err := enc.Encode(env); err == nil {
 			s.frameOut()
-			_ = rc.Flush()
 		}
 	}
 
@@ -647,8 +677,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 		err error
 	}
 	frames := make(chan decoded)
+	// The pooled decoder's envelopes live in its scratch, so the goroutine
+	// must not decode the next frame while the ingest loop still reads the
+	// previous one: the ack channel hands the scratch back after each
+	// frame is fully processed (PushLinked copies edges before returning,
+	// so "processed" is synchronous).
+	ack := make(chan struct{}, 1)
 	go func() {
-		dec := wire.NewDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame)
+		dec := wire.AcquireDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame)
+		defer wire.ReleaseDecoder(dec)
 		for {
 			env, err := dec.Decode()
 			if err == nil {
@@ -661,6 +698,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, u *dsu.Uni
 				if err != nil {
 					return
 				}
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case <-ack:
 			case <-ctx.Done():
 				return
 			}
@@ -691,7 +733,7 @@ ingest:
 				// A range violation poisons nothing: reject the frame,
 				// keep the stream.
 				write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: err.Error()})
-				continue
+				break
 			}
 			// A traced frame's context rides into the batch its edges land
 			// in (first link wins); a zero context makes this a plain Push.
@@ -708,6 +750,7 @@ ingest:
 			write(&wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: fmt.Sprintf("stream connections take unite/flush envelopes, got %v", env.Kind)})
 			break ingest
 		}
+		ack <- struct{}{} // done with env; the decoder may reuse its scratch
 	}
 
 	closeErr := st.Close()
@@ -730,4 +773,183 @@ ingest:
 	write(end)
 	s.log.Info("stream done", "tenant", u.Name(), "batches", st.Batches(),
 		"edges", st.Edges(), "merged", st.Merged(), "failed", st.Failed(), "err", closeErr)
+}
+
+// handlePipe answers a pipelined sequence of batch RPCs on one
+// full-duplex connection (see the package docs for the protocol). Every
+// unite/query envelope executes in arrival order and answers with a
+// reply or error envelope echoing its Seq; requests, replies, and the
+// codecs between them all run on recycled wire buffers, and replies
+// leave through the coalescing writer so pipelined small frames cost one
+// write, not one apiece.
+func (s *Server) handlePipe(w http.ResponseWriter, r *http.Request, u *dsu.Universe) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	format, ok := wire.FormatFor(r.Header.Get("Content-Type"))
+	if !ok {
+		http.Error(w, "unsupported content type", http.StatusUnsupportedMediaType)
+		return
+	}
+	select {
+	case <-s.stop:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	default:
+	}
+
+	// The pipe dies with the client or with server Stop, exactly like a
+	// stream connection.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		select {
+		case <-s.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	w.Header().Set("Content-Type", format.ContentType())
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex() // HTTP/1.1: read the body while answering
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	fw := wire.NewFlushWriter(s.wireWriter(w), 0, func() { _ = rc.Flush() })
+	defer fw.Close()
+	enc := wire.AcquireEncoder(fw, format)
+	defer wire.ReleaseEncoder(enc)
+	answer := func(env *wire.Envelope) {
+		if enc.Encode(env) == nil {
+			s.frameOut()
+		}
+	}
+
+	// Decode on a side goroutine with the same scratch-handoff protocol as
+	// handleStream: the serve loop acks each envelope before the decoder
+	// reuses its scratch, and selects against ctx so shutdown cuts through
+	// a blocked body read.
+	type decoded struct {
+		env *wire.Envelope
+		err error
+	}
+	frames := make(chan decoded)
+	ack := make(chan struct{}, 1)
+	go func() {
+		dec := wire.AcquireDecoder(s.wireBody(r.Body), format, s.cfg.MaxFrame)
+		defer wire.ReleaseDecoder(dec)
+		for {
+			env, err := dec.Decode()
+			if err == nil {
+				s.frameIn()
+			} else if err != io.EOF {
+				s.decodeError()
+			}
+			select {
+			case frames <- decoded{env, err}:
+				if err != nil {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+			select {
+			case <-ack:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	rec := u.TraceRecorder() // nil (all no-ops) on an untraced tenant
+	sem := s.sem(u.Name())
+	concurrent := u.Concurrent()
+	s.log.Info("pipe open", "tenant", u.Name(), "format", format.String(), "concurrent", concurrent)
+
+	var served uint64
+	var rep dsu.BatchReply
+	var renv wire.Envelope // reused across replies; Encode doesn't retain it
+serve:
+	for {
+		var d decoded
+		select {
+		case <-ctx.Done():
+			renv = wire.Envelope{Kind: wire.KindError, Error: "pipe aborted: " + ctx.Err().Error()}
+			answer(&renv)
+			break serve
+		case d = <-frames:
+		}
+		switch {
+		case d.err == io.EOF:
+			break serve // clean end of the request stream
+		case d.err != nil:
+			renv = wire.Envelope{Kind: wire.KindError, Error: "bad frame: " + d.err.Error()}
+			answer(&renv)
+			break serve
+		}
+		env := d.env
+		var op string
+		switch env.Kind {
+		case wire.KindUnite:
+			op = tracespan.OpUnite
+		case wire.KindQuery:
+			op = tracespan.OpQuery
+		default:
+			renv = wire.Envelope{Kind: wire.KindError, Seq: env.Seq,
+				Error: fmt.Sprintf("pipe connections take unite/query envelopes, got %v", env.Kind)}
+			answer(&renv)
+			break serve
+		}
+		tr := rec.Start(op, tracespan.SourceRPC)
+		tr.Adopt(tracespan.Context{Trace: env.Trace, Span: env.Span})
+		// Per-tenant budget, as for single-shot RPC: piped requests from a
+		// plain tenant serialize against the tenant's other connections;
+		// concurrent-capable tenants overlap by contract.
+		if !concurrent {
+			qw := tr.Start(tracespan.StageQueueWait, tracespan.Root)
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				continue // the ctx.Done arm above ends the pipe
+			}
+			tr.End(qw)
+		}
+		var execErr error
+		var edges int
+		if env.Kind == wire.KindUnite {
+			edges = len(env.Unite.Edges)
+			rep, execErr = u.UniteAllTraced(*env.Unite, tr)
+		} else {
+			edges = len(env.Query.Pairs)
+			rep, execErr = u.SameSetAllTraced(*env.Query, tr)
+		}
+		if !concurrent {
+			<-sem
+		}
+		if execErr != nil {
+			// Validation failure: nothing executed and nothing is poisoned —
+			// answer the error and keep the pipe.
+			renv = wire.Envelope{Kind: wire.KindError, Seq: env.Seq, Error: execErr.Error()}
+			answer(&renv)
+			ack <- struct{}{}
+			continue
+		}
+		re := tr.Start(tracespan.StageReplyEncode, tracespan.Root)
+		renv = wire.Envelope{Kind: wire.KindReply, Seq: env.Seq, Reply: &rep}
+		if c := tr.Context(); c.Valid() {
+			renv.Trace, renv.Span = c.Trace, c.Span
+		}
+		answer(&renv)
+		tr.End(re)
+		if a := tr.Attrs(tracespan.Root); a != nil {
+			a.Edges = int64(edges)
+			a.Merged = rep.Merged
+		}
+		rec.Finish(tr)
+		served++
+		ack <- struct{}{} // done with env; the decoder may reuse its scratch
+	}
+	s.log.Info("pipe done", "tenant", u.Name(), "served", served)
 }

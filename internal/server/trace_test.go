@@ -148,8 +148,15 @@ func TestStreamTracePropagation(t *testing.T) {
 	var mu chan struct{} // buffered-1 as a mutex usable from the reader goroutine
 	mu = make(chan struct{}, 1)
 	st, err := c.OpenStream(ctx, "st", StreamConfig{Buffer: 64, OnReply: func(env *wire.Envelope) {
+		// The envelope lives in the stream's pooled decoder and is only
+		// valid during the callback — copy it out before retaining.
+		cp := *env
+		if env.Reply != nil {
+			rep := *env.Reply
+			cp.Reply = &rep
+		}
 		mu <- struct{}{}
-		replies = append(replies, env)
+		replies = append(replies, &cp)
 		<-mu
 	}})
 	if err != nil {

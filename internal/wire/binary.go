@@ -162,13 +162,17 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 		}
 		if rep.Answers != nil {
 			b = binary.BigEndian.AppendUint32(b, uint32(len(rep.Answers)))
-			bits := make([]byte, (len(rep.Answers)+7)/8)
+			// Build the bitset in place — appending zero bytes and setting
+			// bits directly keeps the steady-state encode allocation-free.
+			off := len(b)
+			for n := (len(rep.Answers) + 7) / 8; n > 0; n-- {
+				b = append(b, 0)
+			}
 			for i, v := range rep.Answers {
 				if v {
-					bits[i/8] |= 1 << (i % 8)
+					b[off+i/8] |= 1 << (i % 8)
 				}
 			}
-			b = append(b, bits...)
 		}
 	case KindError:
 		b = append(b, env.Error...)
@@ -196,15 +200,72 @@ func (e *binaryEncoder) Encode(env *Envelope) error {
 	return err
 }
 
+// binaryDecoder reads frames into a reusable payload buffer. In reuse
+// mode (AcquireDecoder) the decoded DTOs live in the decoder's scratch
+// fields too, so a steady-state unite/query/reply decode performs no
+// allocation at all — the returned envelope is valid only until the next
+// Decode (or ReleaseDecoder). Without reuse (NewDecoder) every Decode
+// returns freshly allocated DTOs the caller owns outright.
 type binaryDecoder struct {
 	r        io.Reader
 	maxFrame int
+	reuse    bool
 	head     [binHeaderLen]byte
 	buf      []byte
+
+	// Scratch DTOs, used only in reuse mode.
+	env     Envelope
+	unite   dsu.UniteRequest
+	query   dsu.QueryRequest
+	reply   dsu.BatchReply
+	end     StreamEnd
+	edges   []dsu.Edge
+	answers []bool
 }
 
 func newBinaryDecoder(r io.Reader, maxFrame int) *binaryDecoder {
 	return &binaryDecoder{r: r, maxFrame: maxFrame}
+}
+
+// envelope returns the target envelope for one Decode: the zeroed
+// scratch in reuse mode, a fresh allocation otherwise.
+func (d *binaryDecoder) envelope() *Envelope {
+	if !d.reuse {
+		return &Envelope{}
+	}
+	d.env = Envelope{}
+	return &d.env
+}
+
+// edgeSlice returns a decode target for n edges, reusing (and growing)
+// the scratch slice in reuse mode.
+func (d *binaryDecoder) edgeSlice(n int) []dsu.Edge {
+	if !d.reuse {
+		return make([]dsu.Edge, n)
+	}
+	if cap(d.edges) < n {
+		d.edges = make([]dsu.Edge, n)
+	}
+	d.edges = d.edges[:n]
+	return d.edges
+}
+
+// answerSlice is edgeSlice for reply answer vectors. The result is
+// non-nil even for n == 0: answers-present-but-empty and answers-absent
+// are distinct on the wire and must stay distinct after decode.
+func (d *binaryDecoder) answerSlice(n int) []bool {
+	if !d.reuse {
+		return make([]bool, n)
+	}
+	if cap(d.answers) < n || d.answers == nil {
+		c := n
+		if c < 8 {
+			c = 8
+		}
+		d.answers = make([]bool, n, c)
+	}
+	d.answers = d.answers[:n]
+	return d.answers
 }
 
 func (d *binaryDecoder) Decode() (*Envelope, error) {
@@ -222,34 +283,49 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 		return nil, fmt.Errorf("%w: %d-byte payload cannot hold kind and sequence", ErrCorruptFrame, length)
 	}
 	if cap(d.buf) < length {
-		d.buf = make([]byte, length)
+		putBuf(d.buf) // the payload never escapes Decode, so recycle
+		d.buf = getBuf(length)
 	}
 	p := d.buf[:length]
 	if _, err := io.ReadFull(d.r, p); err != nil {
 		return nil, io.ErrUnexpectedEOF
 	}
-	env := &Envelope{Kind: Kind(p[0]), Seq: binary.BigEndian.Uint64(p[1:9])}
+	env := d.envelope()
+	env.Kind, env.Seq = Kind(p[0]), binary.BigEndian.Uint64(p[1:9])
 	body := p[9:]
 	switch env.Kind {
 	case KindUnite:
-		opts, edges, err := parseBatch(body, env)
+		opts, edges, err := d.parseBatch(body, env)
 		if err != nil {
 			return nil, err
 		}
-		env.Unite = &dsu.UniteRequest{Edges: edges, Options: opts}
+		if d.reuse {
+			d.unite = dsu.UniteRequest{Edges: edges, Options: opts}
+			env.Unite = &d.unite
+		} else {
+			env.Unite = &dsu.UniteRequest{Edges: edges, Options: opts}
+		}
 	case KindQuery:
-		opts, pairs, err := parseBatch(body, env)
+		opts, pairs, err := d.parseBatch(body, env)
 		if err != nil {
 			return nil, err
 		}
-		env.Query = &dsu.QueryRequest{Pairs: pairs, Options: opts}
+		if d.reuse {
+			d.query = dsu.QueryRequest{Pairs: pairs, Options: opts}
+			env.Query = &d.query
+		} else {
+			env.Query = &dsu.QueryRequest{Pairs: pairs, Options: opts}
+		}
 	case KindFlush:
 		if len(body) != 0 {
 			return nil, fmt.Errorf("%w: flush carries %d stray bytes", ErrCorruptFrame, len(body))
 		}
 	case KindReply:
-		rep, err := parseReply(body, env)
-		if err != nil {
+		rep := &d.reply
+		if !d.reuse {
+			rep = &dsu.BatchReply{}
+		}
+		if err := d.parseReply(body, env, rep); err != nil {
 			return nil, err
 		}
 		env.Reply = rep
@@ -259,13 +335,18 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 		if len(body) < binEndLen {
 			return nil, fmt.Errorf("%w: end payload is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binEndLen)
 		}
-		env.End = &StreamEnd{
+		end := &d.end
+		if !d.reuse {
+			end = &StreamEnd{}
+		}
+		*end = StreamEnd{
 			Batches:  binary.BigEndian.Uint64(body[0:8]),
 			Edges:    int64(binary.BigEndian.Uint64(body[8:16])),
 			Merged:   int64(binary.BigEndian.Uint64(body[16:24])),
 			Filtered: int64(binary.BigEndian.Uint64(body[24:32])),
 			Failed:   binary.BigEndian.Uint64(body[32:40]),
 		}
+		env.End = end
 		env.Error = string(body[binEndLen:])
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrCorruptFrame, p[0])
@@ -276,7 +357,7 @@ func (d *binaryDecoder) Decode() (*Envelope, error) {
 // parseBatch decodes the shared unite/query body: options, the optional
 // trace-context extension (stored straight into env), then a
 // length-derived edge list.
-func parseBatch(body []byte, env *Envelope) (dsu.BatchOptions, []dsu.Edge, error) {
+func (d *binaryDecoder) parseBatch(body []byte, env *Envelope) (dsu.BatchOptions, []dsu.Edge, error) {
 	if len(body) < binOptsLen {
 		return dsu.BatchOptions{}, nil, fmt.Errorf("%w: batch body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binOptsLen)
 	}
@@ -304,7 +385,7 @@ func parseBatch(body []byte, env *Envelope) (dsu.BatchOptions, []dsu.Edge, error
 	}
 	var edges []dsu.Edge
 	if len(raw) > 0 {
-		edges = make([]dsu.Edge, len(raw)/8)
+		edges = d.edgeSlice(len(raw) / 8)
 		for i := range edges {
 			edges[i].X = binary.BigEndian.Uint32(raw[i*8:])
 			edges[i].Y = binary.BigEndian.Uint32(raw[i*8+4:])
@@ -321,11 +402,11 @@ func parseStats(b []byte) core.Stats {
 	}
 }
 
-func parseReply(body []byte, env *Envelope) (*dsu.BatchReply, error) {
+func (d *binaryDecoder) parseReply(body []byte, env *Envelope, rep *dsu.BatchReply) error {
 	if len(body) < binReplyLen {
-		return nil, fmt.Errorf("%w: reply body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binReplyLen)
+		return fmt.Errorf("%w: reply body is %d bytes, want ≥ %d", ErrCorruptFrame, len(body), binReplyLen)
 	}
-	rep := &dsu.BatchReply{
+	*rep = dsu.BatchReply{
 		Merged:     int64(binary.BigEndian.Uint64(body[0:8])),
 		Filtered:   int(int64(binary.BigEndian.Uint64(body[8:16]))),
 		CASRetries: int64(binary.BigEndian.Uint64(body[16:24])),
@@ -335,37 +416,37 @@ func parseReply(body []byte, env *Envelope) (*dsu.BatchReply, error) {
 	}
 	rflags := body[32+binStatsLen+1]
 	if rflags&^(repFlagAnswers|repFlagTrace) != 0 {
-		return nil, fmt.Errorf("%w: reply flag byte %d", ErrCorruptFrame, rflags)
+		return fmt.Errorf("%w: reply flag byte %d", ErrCorruptFrame, rflags)
 	}
 	rest := body[binReplyLen:]
 	if rflags&repFlagTrace != 0 {
 		if len(rest) < binTraceLen {
-			return nil, fmt.Errorf("%w: reply trace context truncated", ErrCorruptFrame)
+			return fmt.Errorf("%w: reply trace context truncated", ErrCorruptFrame)
 		}
 		env.Trace = binary.BigEndian.Uint64(rest[0:8])
 		env.Span = binary.BigEndian.Uint64(rest[8:16])
 		if env.Trace == 0 {
-			return nil, fmt.Errorf("%w: trace context with zero trace id", ErrCorruptFrame)
+			return fmt.Errorf("%w: trace context with zero trace id", ErrCorruptFrame)
 		}
 		rest = rest[binTraceLen:]
 	}
 	if rflags&repFlagAnswers == 0 {
 		if len(rest) != 0 {
-			return nil, fmt.Errorf("%w: reply without answers carries %d stray bytes", ErrCorruptFrame, len(rest))
+			return fmt.Errorf("%w: reply without answers carries %d stray bytes", ErrCorruptFrame, len(rest))
 		}
-		return rep, nil
+		return nil
 	}
 	if len(rest) < 4 {
-		return nil, fmt.Errorf("%w: reply answer count truncated", ErrCorruptFrame)
+		return fmt.Errorf("%w: reply answer count truncated", ErrCorruptFrame)
 	}
 	count := int(binary.BigEndian.Uint32(rest[0:4]))
 	bits := rest[4:]
 	if len(bits) != (count+7)/8 {
-		return nil, fmt.Errorf("%w: %d answers need %d bitset bytes, frame has %d", ErrCorruptFrame, count, (count+7)/8, len(bits))
+		return fmt.Errorf("%w: %d answers need %d bitset bytes, frame has %d", ErrCorruptFrame, count, (count+7)/8, len(bits))
 	}
-	rep.Answers = make([]bool, count)
+	rep.Answers = d.answerSlice(count)
 	for i := range rep.Answers {
 		rep.Answers[i] = bits[i/8]&(1<<(i%8)) != 0
 	}
-	return rep, nil
+	return nil
 }

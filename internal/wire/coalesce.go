@@ -1,0 +1,191 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrWriterClosed reports a Write or Flush on a closed FlushWriter.
+var ErrWriterClosed = errors.New("wire: flush writer closed")
+
+// DefaultCoalesceLimit is the pending-byte bound a FlushWriter applies
+// when the caller doesn't pick one: past it, Write blocks until the
+// flusher drains — the write-side half of the end-to-end backpressure
+// contract.
+const DefaultCoalesceLimit = 64 << 10
+
+// FlushWriter is the write-coalescing half of the wire fast path: an
+// io.Writer that accumulates frames in memory and hands them to the
+// underlying writer from a dedicated flusher goroutine. Under
+// pipelining, many small frames written back to back land in one
+// underlying Write (one syscall on a net.Conn); a lone frame is flushed
+// as soon as the flusher wakes — flush-on-idle, no timers.
+//
+// The state machine has three parts:
+//
+//   - Writers append whole frames to the pending buffer under the
+//     mutex, then nudge the flusher through a 1-slot dirty channel (a
+//     pending nudge means the flusher will see these bytes anyway, so
+//     the send never blocks).
+//   - The flusher swaps the pending buffer for an empty spare, releases
+//     the mutex, and writes the taken bytes downstream — so writers keep
+//     appending (coalescing) for exactly as long as the downstream write
+//     takes. The two buffers ping-pong; steady state allocates nothing.
+//   - Write blocks while the pending buffer is at its limit, making
+//     backpressure end-to-end: a stalled peer stalls the flusher, fills
+//     the buffer, and stops the producer.
+//
+// Flush blocks until every byte written before it has reached the
+// underlying writer. Close stops the flusher, drains the remainder, and
+// reports the first write error. Writes may race each other and
+// Flush/Close; the underlying writer is only ever touched by one
+// goroutine at a time.
+type FlushWriter struct {
+	w       io.Writer
+	onFlush func() // optional downstream flush hook, after each write
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when pending drains, errors, or closes
+	buf      []byte     // pending frames
+	spare    []byte     // the flusher's swap target
+	limit    int
+	err      error
+	closed   bool
+	flushing bool // the flusher holds taken bytes not yet downstream
+
+	dirty chan struct{} // cap 1: "pending bytes exist"
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// NewFlushWriter returns a FlushWriter over w whose pending buffer
+// blocks writers past limit bytes (≤ 0 selects DefaultCoalesceLimit).
+// onFlush, when non-nil, runs after every underlying write — the
+// server passes http.ResponseController.Flush so coalesced frames
+// leave the HTTP buffers too. Close it to stop the flusher goroutine.
+func NewFlushWriter(w io.Writer, limit int, onFlush func()) *FlushWriter {
+	if limit <= 0 {
+		limit = DefaultCoalesceLimit
+	}
+	fw := &FlushWriter{
+		w: w, onFlush: onFlush, limit: limit,
+		dirty: make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	fw.cond = sync.NewCond(&fw.mu)
+	go fw.flushLoop()
+	return fw
+}
+
+// Write appends one frame to the pending buffer, blocking while the
+// buffer is at its limit. Safe for concurrent use.
+func (fw *FlushWriter) Write(p []byte) (int, error) {
+	fw.mu.Lock()
+	for fw.err == nil && !fw.closed && len(fw.buf) >= fw.limit {
+		fw.cond.Wait()
+	}
+	if fw.err != nil {
+		err := fw.err
+		fw.mu.Unlock()
+		return 0, err
+	}
+	if fw.closed {
+		fw.mu.Unlock()
+		return 0, ErrWriterClosed
+	}
+	fw.buf = append(fw.buf, p...)
+	fw.mu.Unlock()
+	select {
+	case fw.dirty <- struct{}{}:
+	default: // a nudge is already pending; the flusher will see our bytes
+	}
+	return len(p), nil
+}
+
+// Flush blocks until every previously written byte has reached the
+// underlying writer (and onFlush ran), then reports any write error.
+func (fw *FlushWriter) Flush() error {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	for fw.err == nil && !fw.closed && (len(fw.buf) > 0 || fw.flushing) {
+		fw.cond.Wait()
+	}
+	if fw.err != nil {
+		return fw.err
+	}
+	if fw.closed {
+		return ErrWriterClosed
+	}
+	return nil
+}
+
+// Close stops the flusher, drains any remaining bytes downstream, and
+// returns the first write error. Further Writes fail; Close is
+// idempotent (later calls return the same error state).
+func (fw *FlushWriter) Close() error {
+	fw.mu.Lock()
+	already := fw.closed
+	fw.closed = true
+	fw.mu.Unlock()
+	if !already {
+		close(fw.stop)
+	}
+	fw.cond.Broadcast() // release writers blocked on the limit
+	<-fw.done
+
+	fw.mu.Lock()
+	b := fw.buf
+	fw.buf = nil
+	err := fw.err
+	fw.mu.Unlock()
+	if err == nil && len(b) > 0 {
+		if _, werr := fw.w.Write(b); werr != nil {
+			fw.mu.Lock()
+			if fw.err == nil {
+				fw.err = werr
+			}
+			err = fw.err
+			fw.mu.Unlock()
+		} else if fw.onFlush != nil {
+			fw.onFlush()
+		}
+	}
+	return err
+}
+
+func (fw *FlushWriter) flushLoop() {
+	defer close(fw.done)
+	for {
+		select {
+		case <-fw.dirty:
+		case <-fw.stop:
+			return
+		}
+		fw.mu.Lock()
+		if len(fw.buf) == 0 || fw.err != nil {
+			fw.mu.Unlock()
+			continue
+		}
+		b := fw.buf
+		fw.buf = fw.spare[:0]
+		fw.spare = nil
+		fw.flushing = true
+		fw.mu.Unlock()
+
+		_, werr := fw.w.Write(b)
+		if werr == nil && fw.onFlush != nil {
+			fw.onFlush()
+		}
+
+		fw.mu.Lock()
+		fw.spare = b // hand the drained buffer back for the next swap
+		fw.flushing = false
+		if werr != nil && fw.err == nil {
+			fw.err = werr
+		}
+		fw.mu.Unlock()
+		fw.cond.Broadcast() // wake limit-blocked writers and Flush waiters
+	}
+}

@@ -34,17 +34,24 @@ type jsonEnvelope struct {
 	Error string            `json:"error,omitempty"`
 }
 
+// jsonEncoder carries per-connection state: one persistent json.Encoder
+// (whose internal buffer is reused across envelopes — no fresh marshal
+// output slice per line) and one scratch jsonEnvelope. Encoding is not
+// allocation-free — encoding/json reflects — but the per-envelope
+// garbage is bounded and the wire bytes are identical to json.Marshal's
+// (same HTML escaping, same trailing newline).
 type jsonEncoder struct {
-	w io.Writer
+	enc *json.Encoder
+	je  jsonEnvelope // scratch, rebuilt per Encode
 }
 
-func newJSONEncoder(w io.Writer) *jsonEncoder { return &jsonEncoder{w: w} }
+func newJSONEncoder(w io.Writer) *jsonEncoder { return &jsonEncoder{enc: json.NewEncoder(w)} }
 
 func (e *jsonEncoder) Encode(env *Envelope) error {
 	if kindFromString(env.Kind.String()) == 0 {
 		return fmt.Errorf("%w: cannot encode kind %d", ErrCorruptFrame, env.Kind)
 	}
-	je := &jsonEnvelope{
+	e.je = jsonEnvelope{
 		Kind:  env.Kind.String(),
 		Seq:   env.Seq,
 		Unite: env.Unite,
@@ -53,6 +60,7 @@ func (e *jsonEncoder) Encode(env *Envelope) error {
 		End:   env.End,
 		Error: env.Error,
 	}
+	je := &e.je
 	if env.Trace != 0 { // a span without a trace is not a context
 		je.Trace = env.Trace
 		je.Span = env.Span
@@ -70,13 +78,9 @@ func (e *jsonEncoder) Encode(env *Envelope) error {
 	case env.Kind == KindEnd && je.End == nil:
 		je.End = &StreamEnd{}
 	}
-	line, err := json.Marshal(je)
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
-	_, err = e.w.Write(line)
-	return err
+	// json.Encoder writes the marshaled line and its trailing newline as
+	// one Write, which the coalescing writer counts as one frame.
+	return e.enc.Encode(je)
 }
 
 type jsonDecoder struct {

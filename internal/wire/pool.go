@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"io"
+	"sync"
+
+	"repro/dsu"
+)
+
+// Frame-buffer pooling: encode and decode share one set of size-classed
+// sync.Pools (1 KiB … 16 MiB in powers of two), in the style of MCAP's
+// chunked-record buffers — a frame buffer is taken from the smallest
+// class that fits, used for exactly one codec's lifetime, and returned
+// on release. Buffers larger than the top class (a caller-raised
+// maxFrame) are not pooled; they were exceptional to begin with.
+//
+// The pools hold *[]byte (a bare []byte in an interface would re-box on
+// every Put). The box itself costs one small allocation per putBuf —
+// paid at codec growth and release, never per frame.
+const (
+	bufMinBits = 10 // 1 KiB: smallest pooled class
+	bufMaxBits = 24 // 16 MiB: DefaultMaxFrame, largest pooled class
+	bufClasses = bufMaxBits - bufMinBits + 1
+)
+
+var bufPools [bufClasses]sync.Pool
+
+// getBuf returns a zero-length buffer with capacity ≥ n, pooled when n
+// fits a size class.
+func getBuf(n int) []byte {
+	class, size := 0, 1<<bufMinBits
+	for size < n {
+		class, size = class+1, size<<1
+		if class >= bufClasses {
+			return make([]byte, 0, n) // beyond the classes: unpooled
+		}
+	}
+	if p, _ := bufPools[class].Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, size)
+}
+
+// putBuf recycles a buffer into the largest class its capacity fully
+// covers, so a later getBuf from that class always honors its size.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<bufMinBits || c > 1<<bufMaxBits {
+		return
+	}
+	class := 0
+	for class+1 < bufClasses && c >= 1<<(bufMinBits+class+1) {
+		class++
+	}
+	b = b[:0]
+	bufPools[class].Put(&b)
+}
+
+// Codec pooling: the binary encoder and decoder structs are recycled
+// whole, carrying their DTO scratch with them; their frame buffers
+// circulate through the shared size-class pools above. JSON codecs keep
+// per-connection state (a persistent json.Encoder, the scanner's reused
+// line buffer) but are not themselves pooled — NDJSON is the debug mode.
+var (
+	binEncPool = sync.Pool{New: func() any { return new(binaryEncoder) }}
+	binDecPool = sync.Pool{New: func() any { return new(binaryDecoder) }}
+)
+
+// Scratch slices past these bounds are dropped at release so one huge
+// frame cannot pin megabytes inside the codec pools.
+const (
+	maxScratchEdges   = 1 << 18 // 2 MiB of []dsu.Edge
+	maxScratchAnswers = 1 << 20 // 1 MiB of []bool
+)
+
+// AcquireEncoder returns a pooled encoder writing f-formatted envelopes
+// to w. It is NewEncoder with recycled buffers: pair it with
+// ReleaseEncoder when the connection ends. Steady-state binary encoding
+// through an acquired encoder performs zero allocations.
+func AcquireEncoder(w io.Writer, f Format) Encoder {
+	if f == JSON {
+		return newJSONEncoder(w)
+	}
+	e := binEncPool.Get().(*binaryEncoder)
+	e.w = w
+	if e.buf == nil {
+		e.buf = getBuf(1 << bufMinBits)
+	}
+	return e
+}
+
+// ReleaseEncoder recycles an encoder obtained from AcquireEncoder. The
+// encoder must not be used afterwards. Encoders from NewEncoder (or a
+// second release) are ignored safely.
+func ReleaseEncoder(enc Encoder) {
+	e, ok := enc.(*binaryEncoder)
+	if !ok || e == nil || e.w == nil {
+		return
+	}
+	putBuf(e.buf)
+	e.buf = nil
+	e.w = nil
+	binEncPool.Put(e)
+}
+
+// AcquireDecoder returns a pooled scratch-reuse decoder reading
+// f-formatted envelopes from r (maxFrame as in NewDecoder). Ownership
+// differs from NewDecoder: every envelope it returns — the Envelope,
+// its request/reply bodies, edge and answer slices — lives in the
+// decoder's scratch and is valid only until the next Decode or
+// ReleaseDecoder. Copy out whatever outlives that window. In exchange,
+// steady-state binary unite/query/reply decoding performs zero
+// allocations. Pair with ReleaseDecoder when the connection ends.
+func AcquireDecoder(r io.Reader, f Format, maxFrame int) Decoder {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if f == JSON {
+		return newJSONDecoder(r, maxFrame)
+	}
+	d := binDecPool.Get().(*binaryDecoder)
+	d.r, d.maxFrame, d.reuse = r, maxFrame, true
+	if d.buf == nil {
+		d.buf = getBuf(1 << bufMinBits)
+	}
+	return d
+}
+
+// ReleaseDecoder recycles a decoder obtained from AcquireDecoder and
+// invalidates every envelope it ever returned. Decoders from NewDecoder
+// (or a second release) are ignored safely.
+func ReleaseDecoder(dec Decoder) {
+	d, ok := dec.(*binaryDecoder)
+	if !ok || d == nil || !d.reuse || d.r == nil {
+		return
+	}
+	putBuf(d.buf)
+	d.buf = nil
+	d.r = nil
+	if cap(d.edges) > maxScratchEdges {
+		d.edges = nil
+	}
+	if cap(d.answers) > maxScratchAnswers {
+		d.answers = nil
+	}
+	// Drop references held by the scratch DTOs (the slices above are kept
+	// via their own fields, not through these).
+	d.env = Envelope{}
+	d.unite = dsu.UniteRequest{}
+	d.query = dsu.QueryRequest{}
+	d.reply = dsu.BatchReply{}
+	binDecPool.Put(d)
+}

@@ -14,6 +14,18 @@
 // allocation. Element-range and option validation is deliberately NOT
 // here: that is the dsu.Universe layer's job, so the checks exist exactly
 // once for local and remote callers alike.
+//
+// Two codec families share the formats but differ in ownership. The
+// NewEncoder/NewDecoder constructors hand every decoded envelope to the
+// caller outright — simple, safe, one set of allocations per frame. The
+// AcquireEncoder/AcquireDecoder pool recycles codecs and their scratch
+// across connections: steady-state binary encode and decode of the
+// batch-path envelopes allocate nothing, and in exchange an envelope
+// from an acquired decoder is valid only until the next Decode (or
+// ReleaseDecoder) — copy out whatever outlives that window. FlushWriter
+// completes the fast path on the write side: it coalesces back-to-back
+// small frames into single downstream writes with no timers, while its
+// pending-byte limit keeps backpressure end to end.
 package wire
 
 import (

@@ -416,12 +416,42 @@ func FuzzBinaryDecode(f *testing.F) {
 	_ = enc.Encode(&Envelope{Kind: KindReply, Seq: 1, Trace: 0xabc, Span: 1,
 		Reply: &dsu.BatchReply{Answers: []bool{true}}})
 	f.Add(traced.Bytes())
+	// Back-to-back frames, the pooled decoder's interesting regime: the
+	// second decode reuses scratch the first one filled.
+	var pair bytes.Buffer
+	enc = NewEncoder(&pair, Binary)
+	for i := 0; i < 2; i++ {
+		_ = enc.Encode(&Envelope{Kind: KindUnite, Seq: uint64(i),
+			Unite: &dsu.UniteRequest{Edges: []dsu.Edge{{X: 7, Y: 9}, {X: 3, Y: 4}}}})
+	}
+	f.Add(pair.Bytes())
+	var mixed bytes.Buffer
+	enc = NewEncoder(&mixed, Binary)
+	_ = enc.Encode(&Envelope{Kind: KindUnite, Seq: 1,
+		Unite: &dsu.UniteRequest{Edges: []dsu.Edge{{X: 1, Y: 2}, {X: 5, Y: 6}, {X: 8, Y: 9}}}})
+	_ = enc.Encode(&Envelope{Kind: KindReply, Seq: 1,
+		Reply: &dsu.BatchReply{Merged: 3, Answers: []bool{true, false, true}}})
+	_ = enc.Encode(&Envelope{Kind: KindUnite, Seq: 2,
+		Unite: &dsu.UniteRequest{Edges: []dsu.Edge{{X: 10, Y: 11}}}})
+	f.Add(mixed.Bytes())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), Binary, 1<<20)
+		// The pooled decoder reads the same bytes in lockstep; any place
+		// where scratch reuse changes the result (cross-frame state leak,
+		// stale field merge) shows up as a per-step mismatch.
+		pooled := AcquireDecoder(bytes.NewReader(data), Binary, 1<<20)
+		defer ReleaseDecoder(pooled)
 		for {
 			env, err := dec.Decode()
+			penv, perr := pooled.Decode()
+			if (err == nil) != (perr == nil) {
+				t.Fatalf("pooled decoder diverged: plain err=%v pooled err=%v", err, perr)
+			}
 			if err != nil {
 				return
+			}
+			if !reflect.DeepEqual(env, penv) {
+				t.Fatalf("pooled decode differs from plain:\n got %+v\nwant %+v", penv, env)
 			}
 			var buf bytes.Buffer
 			if err := NewEncoder(&buf, Binary).Encode(env); err != nil {
@@ -445,12 +475,27 @@ func FuzzJSONDecode(f *testing.F) {
 	f.Add([]byte(`{"kind":"unite","trace":123,"span":1,"unite":{"edges":[{"X":1,"Y":2}]}}` + "\n"))
 	f.Add([]byte(`{"kind":"reply","trace":456,"reply":{"merged":1}}` + "\n"))
 	f.Add([]byte("\n\n{\n"))
+	// Back-to-back frames for the pooled-path lockstep below.
+	f.Add([]byte(`{"kind":"unite","seq":1,"unite":{"edges":[{"X":1,"Y":2}]}}` + "\n" +
+		`{"kind":"unite","seq":2,"unite":{"edges":[{"X":1,"Y":2}]}}` + "\n"))
+	f.Add([]byte(`{"kind":"unite","seq":1,"unite":{"edges":[{"X":1,"Y":2},{"X":3,"Y":4}]}}` + "\n" +
+		`{"kind":"reply","seq":1,"reply":{"merged":2,"answers":[true,false]}}` + "\n" +
+		`{"kind":"unite","seq":2,"unite":{"edges":[{"X":5,"Y":6}]}}` + "\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewDecoder(bytes.NewReader(data), JSON, 1<<20)
+		pooled := AcquireDecoder(bytes.NewReader(data), JSON, 1<<20)
+		defer ReleaseDecoder(pooled)
 		for {
 			env, err := dec.Decode()
+			penv, perr := pooled.Decode()
+			if (err == nil) != (perr == nil) {
+				t.Fatalf("pooled decoder diverged: plain err=%v pooled err=%v", err, perr)
+			}
 			if err != nil {
 				return
+			}
+			if !reflect.DeepEqual(env, penv) {
+				t.Fatalf("pooled decode differs from plain:\n got %+v\nwant %+v", penv, env)
 			}
 			var buf bytes.Buffer
 			if err := NewEncoder(&buf, JSON).Encode(env); err != nil {
