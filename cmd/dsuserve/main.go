@@ -18,6 +18,15 @@
 // serve their RPCs and stream batches truly concurrently — no per-tenant
 // queueing.
 //
+// With -data the server is durable: every tenant keeps a chunked,
+// CRC-verified write-ahead log in the directory (<tenant>.dsulog), every
+// mutation batch is logged before it is acknowledged (-fsync selects
+// group commit, per-batch fsync, or OS-buffered), tenants snapshot
+// automatically every -checkpoint-every logged edges (or on demand via
+// POST .../checkpoint), and a restart — graceful or kill -9 — recovers
+// every tenant before the listener opens. Inspect the logs with the
+// dsulog command.
+//
 // With -metrics the process instruments every tenant and the front end
 // itself and serves a Prometheus text exposition on /metrics — the dsu
 // per-tenant series (batches, edges, merges, find steps, CAS retries,
@@ -128,6 +137,9 @@ func main() {
 		withTrace = flag.Bool("trace", false, "trace every batch into per-tenant rings; serve JSON on /debug/traces")
 		traceSlow = flag.Duration("trace-slow", 0, "flight-recorder latency threshold with -trace (0 = 100ms)")
 		withProf  = flag.Bool("pprof", false, "mount net/http/pprof on /debug/pprof/ and expvar on /debug/vars")
+		dataDir   = flag.String("data", "", "durability directory: per-tenant write-ahead logs, recovery on start ('' = no persistence)")
+		fsyncMode = flag.String("fsync", "group", "WAL durability policy with -data: group, none, or always")
+		ckptEvery = flag.Int64("checkpoint-every", 1<<22, "snapshot a tenant after this many logged edges with -data (0 = on demand only)")
 	)
 	flag.Var(&tenants, "tenant", "preload a tenant, name:n[:kind[:find]] (repeatable)")
 	flag.Parse()
@@ -153,7 +165,29 @@ func main() {
 		tracing = dsu.NewTracing(dsu.WithSlowThreshold(*traceSlow))
 		regOpts = append(regOpts, dsu.WithTracing(tracing))
 	}
+	if *dataDir != "" {
+		policy, err := dsu.ParseSyncPolicy(*fsyncMode)
+		if err != nil {
+			fatal("bad -fsync", "err", err)
+		}
+		regOpts = append(regOpts, dsu.WithDurability(*dataDir,
+			dsu.WithSyncPolicy(policy), dsu.WithCheckpointEvery(*ckptEvery)))
+	}
 	reg := dsu.NewRegistry(regOpts...)
+	if *dataDir != "" {
+		// Recovery runs before the listener opens and before -tenant
+		// preloads: every persisted tenant is back — latest snapshot plus
+		// replayed tail — before the first request or flag can observe it.
+		restored, err := reg.RestoreTenants()
+		if err != nil {
+			fatal("recovery failed", "err", err)
+		}
+		for _, name := range restored {
+			u, _ := reg.Get(name)
+			logger.Info("tenant recovered", "tenant", name, "n", u.N(),
+				"kind", u.Kind(), "seq", u.Seq())
+		}
+	}
 	for _, spec := range tenants {
 		ts, err := parseTenant(spec)
 		if err != nil {
@@ -164,6 +198,17 @@ func main() {
 		opts, err := ts.Options()
 		if err != nil {
 			fatal("bad tenant spec", "tenant", ts.Name, "err", err)
+		}
+		if u, ok := reg.Get(ts.Name); ok {
+			// Recovery already brought this tenant back under its log's
+			// recorded configuration; the flag is satisfied if the sizes
+			// agree (a mismatch means the operator changed the spec under a
+			// tenant whose history says otherwise — refuse to guess).
+			if u.N() != ts.N {
+				fatal("preload conflicts with recovered tenant", "tenant", ts.Name,
+					"flag_n", ts.N, "recovered_n", u.N())
+			}
+			continue
 		}
 		u, err := reg.Create(ts.Name, ts.N, opts...)
 		if err != nil {
@@ -235,6 +280,15 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fatal("shutdown failed", "err", err)
+	}
+	// Seal every tenant's log (summary, footer, fsync): a sealed log
+	// reopens through its index with no scan. A kill skips this — the next
+	// start recovers by scanning the longest valid prefix instead.
+	if *dataDir != "" {
+		if err := reg.Close(); err != nil {
+			fatal("sealing logs failed", "err", err)
+		}
+		logger.Info("logs sealed", "dir", *dataDir)
 	}
 	// One totals line per tenant — the lifetime accounting a scraper would
 	// have read from /metrics, preserved in the shutdown log.

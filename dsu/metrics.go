@@ -37,6 +37,7 @@ import (
 //	dsu_screen_find_steps_total{tenant}     ConnectedFilter screen find work
 //	dsu_cas_retries_total{tenant}           lock-free root-link CAS retries
 //	dsu_find_variant_total{tenant,find}     query batches by resolved variant
+//	dsu_tenant_seq{tenant}                  applied-batch sequence (gauge)
 //	dsu_streams_active{tenant}              open streams (gauge)
 //	dsu_stream_inflight_batches{tenant}     sealed batches past accumulators (gauge)
 //	dsu_stream_executing_batches{tenant}    batches inside UniteAll (gauge)
@@ -57,6 +58,7 @@ type Metrics struct {
 	screenFinds *metrics.CounterVec
 	casRetries  *metrics.CounterVec
 	picks       *metrics.CounterVec
+	seq         *metrics.GaugeVec
 
 	streamsActive   *metrics.GaugeVec
 	streamInFlight  *metrics.GaugeVec
@@ -79,6 +81,7 @@ func NewMetrics() *Metrics {
 		screenFinds: reg.CounterVec("dsu_screen_find_steps_total", "Find-loop iterations spent in ConnectedFilter screen passes.", "tenant"),
 		casRetries:  reg.CounterVec("dsu_cas_retries_total", "Root-link CAS attempts that lost a race and retried (lock-free backend contention).", "tenant"),
 		picks:       reg.CounterVec("dsu_find_variant_total", "Query batches by the find variant that actually ran (the adaptive policy's picks).", "tenant", "find"),
+		seq:         reg.GaugeVec("dsu_tenant_seq", "Applied-batch sequence number: the durable log position when persistence is on, a plain batch count otherwise. Compare across replicas.", "tenant"),
 
 		streamsActive:   reg.GaugeVec("dsu_streams_active", "Open streams (ingestion pipelines).", "tenant"),
 		streamInFlight:  reg.GaugeVec("dsu_stream_inflight_batches", "Sealed stream batches past the accumulator: queued, blocked, or executing.", "tenant"),
@@ -129,6 +132,7 @@ func (m *Metrics) instruments(tenant string) *exec.Instruments {
 		Filtered:        m.filtered.With(tenant),
 		ScreenFindSteps: m.screenFinds.With(tenant),
 		CASRetries:      m.casRetries.With(tenant),
+		Seq:             m.seq.With(tenant),
 	}
 	for f := core.FindNaive; f <= core.FindCompress; f++ {
 		ins.Picks[f] = m.picks.With(tenant, f.String())
@@ -185,6 +189,9 @@ type TenantMetrics struct {
 	FindSteps, ScreenFindSteps int64
 	// CASRetries counts lock-free root-link CAS retries.
 	CASRetries int64
+	// Seq is the applied-batch sequence gauge (Universe.Seq as last
+	// published to the instruments).
+	Seq int64
 	// VariantPicks counts query batches by the find variant that ran.
 	VariantPicks map[FindStrategy]int64
 	// StreamsActive and StreamBatchesInFlight are the live pipeline
@@ -211,6 +218,7 @@ func (u *Universe) Metrics() TenantMetrics {
 		FindSteps:             ins.Unite.FindSteps.Value() + ins.Query.FindSteps.Value(),
 		ScreenFindSteps:       ins.ScreenFindSteps.Value(),
 		CASRetries:            ins.CASRetries.Value(),
+		Seq:                   ins.Seq.Value(),
 		VariantPicks:          make(map[FindStrategy]int64),
 		StreamsActive:         u.sg.Active.Value(),
 		StreamBatchesInFlight: u.sg.InFlight.Value(),

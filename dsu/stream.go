@@ -162,7 +162,11 @@ func (u *Universe) NewStream(opts ...StreamOption) *Stream {
 		}
 		bcfg := batchConfig(x.Seed(), bopts)
 		bcfg.Trace = tr
-		return pipeline.Result{Result: x.UniteAll(edges, bcfg)}
+		res := x.UniteAll(edges, bcfg)
+		// Lift a durability refusal into the pipeline's error slot (the
+		// embedded exec.Result.Err would be shadowed): the batch was not
+		// applied, and the stream's completion callback must see it fail.
+		return pipeline.Result{Result: res, Err: res.Err}
 	}
 	_, concurrentOK := u.b.(ConcurrentBackend)
 	s.p = pipeline.New(run, pipeline.Config{

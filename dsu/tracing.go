@@ -238,7 +238,12 @@ func (u *Universe) UniteAllTraced(req UniteRequest, tr *Trace) (BatchReply, erro
 		return BatchReply{}, err
 	}
 	cfg.Trace = tr
-	return replyOf(nil, u.b.executor().UniteAll(req.Edges, cfg)), nil
+	res := u.b.executor().UniteAll(req.Edges, cfg)
+	if res.Err != nil {
+		// Durability refused the batch: not applied, not acknowledged.
+		return BatchReply{}, res.Err
+	}
+	return replyOf(nil, res), nil
 }
 
 // SameSetAllTraced is SameSetAll recording into a caller-supplied trace

@@ -43,6 +43,10 @@ type Universe struct {
 	// (the default) disables tracing — every batch path nil-checks once
 	// and records nothing.
 	rec *tracespan.Recorder
+	// dur is the tenant's persistence handle (log writer + checkpoint
+	// routine), nil for the non-durable universes every registry without
+	// WithDurability creates. See durability.go.
+	dur *durableState
 }
 
 // NewUniverse wraps an existing structure as a named universe — for
@@ -97,10 +101,17 @@ func (u *Universe) Adaptive() bool { return u.b.executor().Adaptive() }
 func (u *Universe) N() int { return u.b.N() }
 
 // Find, SameSet, and Unite are the point operations, delegated under the
-// backend's own concurrency contract.
+// backend's own concurrency contract. On a durable universe, Unite
+// routes through the execution seam as a one-edge batch so it is logged
+// before it is applied, like every other mutation on the tenant surface.
 func (u *Universe) Find(x uint32) uint32     { return u.b.Find(x) }
 func (u *Universe) SameSet(x, y uint32) bool { return u.b.SameSet(x, y) }
-func (u *Universe) Unite(x, y uint32) bool   { return u.b.Unite(x, y) }
+func (u *Universe) Unite(x, y uint32) bool {
+	if u.dur != nil {
+		return u.durableUnite(x, y)
+	}
+	return u.b.Unite(x, y)
+}
 
 // Sets, CanonicalLabels, Components, Snapshot, and ID are the quiescent
 // read surface, identical across backend kinds (the parity the Backend
@@ -338,7 +349,14 @@ func (u *Universe) UniteAll(req UniteRequest) (BatchReply, error) {
 	}
 	tr := u.rec.Start(tracespan.OpUnite, tracespan.SourceBlocking)
 	cfg.Trace = tr
-	rep := replyOf(nil, u.b.executor().UniteAll(req.Edges, cfg))
+	res := u.b.executor().UniteAll(req.Edges, cfg)
+	if res.Err != nil {
+		// Durability refused the batch: it was not applied, and no reply
+		// may acknowledge it.
+		u.rec.Finish(tr)
+		return BatchReply{}, res.Err
+	}
+	rep := replyOf(nil, res)
 	if a := tr.Attrs(tracespan.Root); a != nil {
 		a.Edges = int64(len(req.Edges))
 		a.Merged = rep.Merged
@@ -432,6 +450,10 @@ type Registry struct {
 	// (WithTracing): per-tenant trace recorders resolved under the
 	// tenant's name.
 	tracing *Tracing
+	// dur, when non-nil, makes every universe Create builds durable
+	// (WithDurability): per-tenant write-ahead logs in dur.dir, recovery
+	// on Create, checkpoints per dur's policy.
+	dur *durabilityConfig
 }
 
 // RegistryOption configures NewRegistry.
@@ -533,19 +555,34 @@ func (r *Registry) Create(name string, n int, opts ...Option) (*Universe, error)
 	var b Backend
 	switch kind {
 	case KindSharded:
-		shards := cfg.shards
-		if shards <= 0 {
-			shards = runtime.GOMAXPROCS(0)
+		// Resolve the shard count before the structure (and before the
+		// durable log header records it): a GOMAXPROCS default frozen here
+		// is what lets the log recover identically on a different machine.
+		if cfg.shards <= 0 {
+			cfg.shards = runtime.GOMAXPROCS(0)
 		}
-		b = NewSharded(n, shards, opts...)
+		b = NewSharded(n, cfg.shards, opts...)
 	case KindLockFree:
 		b = NewLockFree(n, opts...)
 	default:
 		b = New(n, opts...)
 	}
 	u := &Universe{name: name, b: b}
+	if r.dur != nil {
+		// Open (or recover) the tenant's log before the universe is
+		// instrumented or published: recovery replay is not re-logged and
+		// never pollutes tenant metrics, and a failed recovery registers
+		// nothing.
+		if err := r.openDurable(u, n, kind, cfg); err != nil {
+			return nil, err
+		}
+	}
 	u.Instrument(r.metrics)    // no-op when uninstrumented
 	u.EnableTracing(r.tracing) // no-op (nil recorder) when untraced
+	if u.dur != nil {
+		// Publish the recovered position to the just-attached gauge.
+		b.executor().SetSeq(b.executor().Seq())
+	}
 	r.m[name] = u
 	return u, nil
 }
@@ -560,14 +597,21 @@ func (r *Registry) Get(name string) (*Universe, bool) {
 
 // Drop unregisters name, reporting whether it existed. The universe's
 // structure stays valid for holders of the pointer (in-flight batches and
-// streams complete); it is simply no longer reachable by name.
+// streams complete); it is simply no longer reachable by name. A durable
+// tenant's log is sealed (its file remains, and a later Create under the
+// same name recovers it), so in-flight mutations race the seal exactly
+// as they race a process shutdown: logged ones survive, refused ones
+// were never acknowledged.
 func (r *Registry) Drop(name string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	_, ok := r.m[name]
+	u, ok := r.m[name]
 	delete(r.m, name)
 	if ok {
 		r.tracing.drop(name)
+		if u.dur != nil {
+			u.dur.w.Close()
+		}
 	}
 	return ok
 }

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one runner per experiment in
-// DESIGN.md's per-experiment index (E1–E24), each regenerating the
+// DESIGN.md's per-experiment index (E1–E25), each regenerating the
 // table/check that validates one of the paper's theorems or constructions
 // (E18 measures the batch engine, E19 the sharded subsystem, E20 the
 // streaming ingestion front, E21 the adaptive compaction policy, E22 the
@@ -106,11 +106,12 @@ func All() []Experiment {
 		{"E22", "Wire-protocol throughput: remote vs in-process batches", "systems extension; ROADMAP wire-measurement item", runE22},
 		{"E23", "Lock-free backend vs flat and sharded", "Jayanti–Tarjan Section 3; systems extension, ROADMAP lock-free item", runE23},
 		{"E24", "Wire fast path: pipelined pooled codecs vs per-RPC exchanges", "systems extension; E22 follow-up, ROADMAP wire-measurement item", runE24},
+		{"E25", "Durable tenants: WAL ingest cost and recovery time", "systems extension; ROADMAP durable-tenants item", runE25},
 	}
 }
 
 // aliases maps friendly experiment names to IDs, for the CLI.
-var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "wire": "E22", "lockfree": "E23", "fastpath": "E24"}
+var aliases = map[string]string{"batch": "E18", "shard": "E19", "stream": "E20", "adapt": "E21", "wire": "E22", "lockfree": "E23", "fastpath": "E24", "wal": "E25", "durable": "E25"}
 
 // ByID returns the experiment with the given ID or alias, matched
 // case-insensitively so `-exp e19` and `-exp E19` name the same table.

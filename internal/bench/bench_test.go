@@ -8,8 +8,8 @@ import (
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 24 {
-		t.Fatalf("registered %d experiments, want 24 (E1–E24)", len(all))
+	if len(all) != 25 {
+		t.Fatalf("registered %d experiments, want 25 (E1–E25)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -47,6 +47,9 @@ func TestByID(t *testing.T) {
 	}
 	if e, ok := ByID("lockfree"); !ok || e.ID != "E23" {
 		t.Fatal("ByID(lockfree) should alias E23")
+	}
+	if e, ok := ByID("wal"); !ok || e.ID != "E25" {
+		t.Fatal("ByID(wal) should alias E25")
 	}
 	for _, id := range []string{"e19", "E19", "SHARD"} {
 		if e, ok := ByID(id); !ok || e.ID != "E19" {

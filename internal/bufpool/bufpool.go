@@ -1,0 +1,58 @@
+// Package bufpool holds the size-classed frame-buffer pools shared by
+// the wire codecs and the WAL record writer: zero-length []byte buffers
+// in power-of-two capacity classes (1 KiB … 16 MiB), in the style of
+// MCAP's chunked-record buffers. A buffer is taken from the smallest
+// class that fits, used for one codec lifetime or one record assembly,
+// and returned on release; buffers beyond the top class are handed out
+// unpooled (they were exceptional to begin with).
+//
+// The pools hold *[]byte (a bare []byte in an interface would re-box on
+// every Put). The box itself costs one small allocation per Put — paid
+// at growth and release, never per frame.
+package bufpool
+
+import "sync"
+
+const (
+	// MinBits is the smallest pooled class, 1 KiB.
+	MinBits = 10
+	// MaxBits is the largest pooled class, 16 MiB (the wire protocol's
+	// DefaultMaxFrame).
+	MaxBits = 24
+
+	classes = MaxBits - MinBits + 1
+)
+
+var pools [classes]sync.Pool
+
+// Get returns a zero-length buffer with capacity ≥ n, pooled when n fits
+// a size class.
+func Get(n int) []byte {
+	class, size := 0, 1<<MinBits
+	for size < n {
+		class, size = class+1, size<<1
+		if class >= classes {
+			return make([]byte, 0, n) // beyond the classes: unpooled
+		}
+	}
+	if p, _ := pools[class].Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, size)
+}
+
+// Put recycles a buffer into the largest class its capacity fully
+// covers, so a later Get from that class always honors its size.
+// Capacities outside the class range are dropped silently.
+func Put(b []byte) {
+	c := cap(b)
+	if c < 1<<MinBits || c > 1<<MaxBits {
+		return
+	}
+	class := 0
+	for class+1 < classes && c >= 1<<(MinBits+class+1) {
+		class++
+	}
+	b = b[:0]
+	pools[class].Put(&b)
+}

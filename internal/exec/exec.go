@@ -161,6 +161,15 @@ type Result struct {
 	// Elapsed is the wall-clock duration of the whole batch call, filter
 	// passes included.
 	Elapsed time.Duration
+	// Seq is the batch's position in the applied mutation order, assigned
+	// by the Executor: the durable log sequence when a WAL is attached, a
+	// plain batch count otherwise. Zero for query batches, empty batches,
+	// and failed batches.
+	Seq uint64
+	// Err is set when durability refused the batch: the WAL append
+	// failed, the batch was NOT applied, and no reply path may
+	// acknowledge it. Always nil without a WAL attached.
+	Err error
 }
 
 // Stats returns the summed work counters of every phase of the run: pool

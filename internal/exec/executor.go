@@ -1,6 +1,11 @@
 package exec
 
-import "repro/internal/tracespan"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tracespan"
+)
 
 // Executor is the one funnel every dsu batch path routes through: blocking
 // UniteAll/SameSetAll calls, the stream dispatcher, and the filter paths
@@ -9,6 +14,12 @@ import "repro/internal/tracespan"
 // Backend; in adaptive mode it trains the flatness Estimator on every
 // batch and downgrades query batches to cheaper find variants while the
 // forest is flat.
+//
+// The executor is also where durability and the applied-batch sequence
+// live: with a WAL attached (AttachWAL), every mutation batch is
+// appended — and durable, per the log's sync policy — before it touches
+// the backend, so a batch whose result any caller has seen is a batch
+// the log can replay. Queries never touch the log.
 type Executor struct {
 	b   Backend
 	est *Estimator
@@ -16,6 +27,36 @@ type Executor struct {
 	// every batch path funnels through this type, feeding it here is what
 	// instruments blocking calls, stream batches, and remote RPCs at once.
 	ins insPtr
+	// wal is the attached durability hook (nil until AttachWAL) — same
+	// seam, same reasoning: attaching here logs blocking calls, stream
+	// batches, and remote RPCs at once.
+	wal atomic.Pointer[walHook]
+	// gate lets Quiesce drain in-flight mutation batches: mutations hold
+	// it shared, a quiescent-state caller (checkpoint) holds it exclusive.
+	// Uncontended RLock/RUnlock is two atomic ops — noise next to a batch.
+	gate sync.RWMutex
+	// applied is the sequence number of the latest applied mutation batch
+	// (monotonic, starts at 1 for the first batch). With a WAL attached it
+	// mirrors the log's committed sequence; without one it still counts
+	// batches so replicas and operators can compare positions.
+	applied atomic.Uint64
+}
+
+// WAL is the durability sink an executor appends mutation batches to.
+// Append must assign the batch a monotonically increasing sequence
+// number and return only once the batch is durable per the log's
+// policy; CheckpointDue reports whether the log wants a snapshot taken
+// (cheap, called once per batch).
+type WAL interface {
+	Append(edges []Edge) (uint64, error)
+	CheckpointDue() bool
+}
+
+// walHook pairs the log with the checkpoint trigger the owning layer
+// registered (the dsu layer's snapshot-at-quiescence routine).
+type walHook struct {
+	w          WAL
+	checkpoint func()
 }
 
 // NewExecutor wraps b. With adaptive set, query batches pick their find
@@ -43,11 +84,102 @@ func (e *Executor) Adaptive() bool { return e.est != nil }
 // experiments and tests; ordinary callers never need it.
 func (e *Executor) Estimator() *Estimator { return e.est }
 
+// AttachWAL arranges for every subsequent mutation batch to be appended
+// to w before it is applied. checkpoint (optional) is invoked after a
+// batch when the log reports CheckpointDue — it must tolerate being
+// called concurrently from many batch goroutines.
+func (e *Executor) AttachWAL(w WAL, checkpoint func()) {
+	e.wal.Store(&walHook{w: w, checkpoint: checkpoint})
+}
+
+// Durable reports whether a WAL is attached.
+func (e *Executor) Durable() bool { return e.wal.Load() != nil }
+
+// Seq returns the sequence number of the latest applied mutation batch;
+// 0 before any mutation. With a WAL attached this is the durable log
+// position.
+func (e *Executor) Seq() uint64 { return e.applied.Load() }
+
+// SetSeq primes the applied sequence — recovery calls it after
+// replaying a log so post-recovery batches continue the numbering
+// rather than restarting at 1.
+func (e *Executor) SetSeq(seq uint64) {
+	e.applied.Store(seq)
+	if m := e.ins.Load(); m != nil {
+		m.Seq.Set(int64(seq))
+	}
+}
+
+// Quiesce drains in-flight mutation batches, then runs fn with new
+// mutations held at the door; fn receives the applied sequence, which
+// no batch can advance while it runs. This is the snapshot-at-
+// quiescence guarantee: a Snapshot() taken inside fn covers exactly the
+// batches numbered 1..seq, no torn view of a batch mid-application.
+// Queries are not blocked (they don't move the partition).
+func (e *Executor) Quiesce(fn func(seq uint64)) {
+	e.gate.Lock()
+	defer e.gate.Unlock()
+	fn(e.applied.Load())
+}
+
+// raiseApplied advances applied to at least seq. Batches commit out of
+// order under the shared gate, so a plain store could move the sequence
+// backwards; the CAS loop keeps it a high-water mark.
+func (e *Executor) raiseApplied(seq uint64) {
+	for {
+		cur := e.applied.Load()
+		if cur >= seq || e.applied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+func (e *Executor) publishSeq() {
+	if m := e.ins.Load(); m != nil {
+		m.Seq.Set(int64(e.applied.Load()))
+	}
+}
+
 // UniteAll drives a mutation batch. Mutation batches always run the
 // backend's configured variant (unless the caller overrode Config.Find
 // explicitly): compacting variants are what flatten the forest, and the
 // estimator learns how much this batch churned it.
+//
+// With a WAL attached the batch is logged first and applied second, and
+// a failed append fails the batch (Result.Err) without applying it —
+// callers surface that error instead of a reply, which is the
+// acked-means-logged contract. The returned Result.Seq is the batch's
+// position in the applied (and, when durable, logged) order.
 func (e *Executor) UniteAll(edges []Edge, cfg Config) Result {
+	h := e.wal.Load()
+	if h == nil || len(edges) == 0 {
+		res := e.execUnite(edges, cfg)
+		if len(edges) > 0 {
+			res.Seq = e.applied.Add(1)
+			e.publishSeq()
+		}
+		return res
+	}
+	e.gate.RLock()
+	seq, err := h.w.Append(edges)
+	if err != nil {
+		e.gate.RUnlock()
+		return Result{Err: err}
+	}
+	res := e.execUnite(edges, cfg)
+	res.Seq = seq
+	e.raiseApplied(seq)
+	e.gate.RUnlock()
+	e.publishSeq()
+	if h.checkpoint != nil && h.w.CheckpointDue() {
+		h.checkpoint()
+	}
+	return res
+}
+
+// execUnite is the pre-durability mutation path: run, trace, train,
+// observe.
+func (e *Executor) execUnite(edges []Edge, cfg Config) Result {
 	ex := cfg.Trace.Start(tracespan.StageExecute, tracespan.Root)
 	res := e.b.UniteAll(edges, cfg)
 	cfg.Trace.End(ex)

@@ -68,6 +68,11 @@ type Instruments struct {
 	// live (fixed-mode tenants see all counts on the configured variant).
 	// Index 0 absorbs an unset variant.
 	Picks [core.FindCompress + 1]*metrics.Counter
+	// Seq tracks the applied-batch sequence (Executor.Seq): the durable
+	// log position when persistence is on, a plain batch count otherwise.
+	// A gauge, not a counter — recovery primes it to the recovered
+	// position, and operators compare it across replicas.
+	Seq *metrics.Gauge
 }
 
 // observeUnite records one mutation batch.

@@ -5,56 +5,25 @@ import (
 	"sync"
 
 	"repro/dsu"
+	"repro/internal/bufpool"
 )
 
-// Frame-buffer pooling: encode and decode share one set of size-classed
-// sync.Pools (1 KiB … 16 MiB in powers of two), in the style of MCAP's
-// chunked-record buffers — a frame buffer is taken from the smallest
-// class that fits, used for exactly one codec's lifetime, and returned
-// on release. Buffers larger than the top class (a caller-raised
-// maxFrame) are not pooled; they were exceptional to begin with.
-//
-// The pools hold *[]byte (a bare []byte in an interface would re-box on
-// every Put). The box itself costs one small allocation per putBuf —
-// paid at codec growth and release, never per frame.
-const (
-	bufMinBits = 10 // 1 KiB: smallest pooled class
-	bufMaxBits = 24 // 16 MiB: DefaultMaxFrame, largest pooled class
-	bufClasses = bufMaxBits - bufMinBits + 1
-)
-
-var bufPools [bufClasses]sync.Pool
+// Frame-buffer pooling: encode and decode share the size-classed pools
+// of internal/bufpool (1 KiB … 16 MiB in powers of two, the same pools
+// the WAL's record writer draws on) — a frame buffer is taken from the
+// smallest class that fits, used for exactly one codec's lifetime, and
+// returned on release. Buffers larger than the top class (a
+// caller-raised maxFrame) are not pooled; they were exceptional to
+// begin with.
+const bufMinBits = bufpool.MinBits // 1 KiB: smallest pooled class
 
 // getBuf returns a zero-length buffer with capacity ≥ n, pooled when n
 // fits a size class.
-func getBuf(n int) []byte {
-	class, size := 0, 1<<bufMinBits
-	for size < n {
-		class, size = class+1, size<<1
-		if class >= bufClasses {
-			return make([]byte, 0, n) // beyond the classes: unpooled
-		}
-	}
-	if p, _ := bufPools[class].Get().(*[]byte); p != nil {
-		return (*p)[:0]
-	}
-	return make([]byte, 0, size)
-}
+func getBuf(n int) []byte { return bufpool.Get(n) }
 
 // putBuf recycles a buffer into the largest class its capacity fully
 // covers, so a later getBuf from that class always honors its size.
-func putBuf(b []byte) {
-	c := cap(b)
-	if c < 1<<bufMinBits || c > 1<<bufMaxBits {
-		return
-	}
-	class := 0
-	for class+1 < bufClasses && c >= 1<<(bufMinBits+class+1) {
-		class++
-	}
-	b = b[:0]
-	bufPools[class].Put(&b)
-}
+func putBuf(b []byte) { bufpool.Put(b) }
 
 // Codec pooling: the binary encoder and decoder structs are recycled
 // whole, carrying their DTO scratch with them; their frame buffers
